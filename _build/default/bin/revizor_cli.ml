@@ -1,0 +1,306 @@
+(* Command-line interface to the Revizor reproduction: fuzz targets
+   against contracts, reproduce the paper's experiments, inspect gadgets
+   and the instruction catalog, and minimize counterexamples. *)
+
+open Revizor
+open Cmdliner
+
+(* --- shared argument parsers --------------------------------------- *)
+
+let contract_conv =
+  let parse s =
+    match Contract.of_name s with Ok c -> Ok c | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Contract.pp)
+
+let target_conv =
+  let parse s =
+    let s' = if String.length s <= 2 then "target " ^ s else s in
+    match Target.find s' with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown target %S (use 1..8)" s))
+  in
+  Arg.conv (parse, Target.pp)
+
+let contract_arg =
+  Arg.(
+    value
+    & opt contract_conv Contract.ct_seq
+    & info [ "c"; "contract" ] ~docv:"CONTRACT"
+        ~doc:"Contract to test against (e.g. CT-SEQ, MEM-COND, ARCH-SEQ).")
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv Target.target5
+    & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Table 2 target (1..8).")
+
+let seed_arg =
+  Arg.(value & opt int64 1L & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let budget_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "n"; "test-cases" ] ~docv:"N" ~doc:"Test-case budget.")
+
+let inputs_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "i"; "inputs" ] ~docv:"N" ~doc:"Inputs per test case.")
+
+(* --- fuzz ----------------------------------------------------------- *)
+
+let do_fuzz contract target seed budget inputs minimize save_dir jobs =
+  Printf.printf "Testing %s against %s (seed %Ld, budget %d test cases)\n%!"
+    (Format.asprintf "%a" Target.pp target)
+    (Contract.name contract) seed budget;
+  let cfg = Target.fuzzer_config ~seed ~n_inputs:inputs contract target in
+  let on_progress (s : Fuzzer.stats) =
+    if s.Fuzzer.test_cases mod 100 = 0 then
+      Printf.printf "  ... %d test cases, %d inputs\n%!" s.Fuzzer.test_cases
+        s.Fuzzer.inputs_tested
+  in
+  let run () =
+    if jobs > 1 then begin
+      let outcome, per_domain =
+        Fuzzer.fuzz_parallel ~domains:jobs cfg ~budget:(Fuzzer.Test_cases budget)
+      in
+      let total =
+        List.fold_left (fun acc (s : Fuzzer.stats) -> acc + s.Fuzzer.test_cases) 0 per_domain
+      in
+      Printf.printf "(%d domains, %d test cases total)\n%!" jobs total;
+      (outcome, List.hd per_domain)
+    end
+    else Fuzzer.fuzz ~on_progress cfg ~budget:(Fuzzer.Test_cases budget)
+  in
+  match run () with
+  | Fuzzer.No_violation, stats ->
+      Format.printf "No violation detected.@.%a@." Fuzzer.pp_stats stats;
+      0
+  | Fuzzer.Violation v, stats ->
+      Format.printf "%a@.@.%a@." Violation.pp v Fuzzer.pp_stats stats;
+      (match save_dir with
+      | Some dir ->
+          Results.save_violation ~dir v;
+          Format.printf "@.Saved to %s/{violation.asm,inputs.txt,report.txt}@." dir
+      | None -> ());
+      if minimize then begin
+        let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
+        let executor = Executor.create cpu cfg.Fuzzer.executor in
+        let m = Postprocessor.minimize cfg executor v in
+        Format.printf "@.Minimized test case (%d inputs):@.%a@."
+          (List.length m.Postprocessor.inputs)
+          Revizor_isa.Program.pp m.Postprocessor.program;
+        Format.printf "@.With localizing fences:@.%a@." Revizor_isa.Program.pp
+          m.Postprocessor.fenced
+      end;
+      1
+
+let fuzz_cmd =
+  let minimize =
+    Arg.(value & flag & info [ "m"; "minimize" ] ~doc:"Minimize the violation.")
+  in
+  let save_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Save the counterexample (asm + input seeds + report) to DIR.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Run N parallel fuzzing campaigns on separate domains.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
+    Term.(
+      const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
+      $ inputs_arg $ minimize $ save_dir $ jobs)
+
+(* --- check: re-verify a saved counterexample -------------------------- *)
+
+let do_check dir contract target =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Printf.eprintf "%s\n" e; 2 in
+  let* program = Results.load_program (Filename.concat dir "violation.asm") in
+  let* inputs = Results.load_inputs (Filename.concat dir "inputs.txt") in
+  let cfg = Target.fuzzer_config contract target in
+  let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
+  let executor = Executor.create cpu cfg.Fuzzer.executor in
+  match Fuzzer.check_test_case cfg executor program inputs with
+  | Ok (Some v) ->
+      Format.printf "still a violation: %s@." (Violation.summary v);
+      1
+  | Ok None ->
+      Format.printf "no violation with this target/contract@.";
+      0
+  | Error e ->
+      Printf.eprintf "test case faulted: %s\n" e;
+      2
+
+let check_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory produced by fuzz --save.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Re-verify a saved counterexample directory.")
+    Term.(const do_check $ dir $ contract_arg $ target_arg)
+
+(* --- gadget ---------------------------------------------------------- *)
+
+let do_gadget name list_them contract target seed =
+  if list_them then begin
+    List.iter
+      (fun (g : Gadgets.t) ->
+        Printf.printf "%-22s %-10s %s\n" g.Gadgets.name g.Gadgets.reference
+          g.Gadgets.description)
+      Gadgets.all;
+    0
+  end
+  else
+    match Gadgets.find name with
+    | None ->
+        Printf.eprintf "unknown gadget %S (try --list)\n" name;
+        2
+    | Some g -> (
+        Format.printf "%s (%s)@.%s@.@.%a@.@." g.Gadgets.name g.Gadgets.reference
+          g.Gadgets.description Revizor_isa.Program.pp g.Gadgets.program;
+        let cfg = Target.fuzzer_config ~seed contract target in
+        let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
+        let executor = Executor.create cpu cfg.Fuzzer.executor in
+        let prng = Prng.create ~seed in
+        let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
+        match Fuzzer.check_test_case cfg executor g.Gadgets.program inputs with
+        | Ok (Some v) ->
+            Format.printf "%s vs %s: VIOLATION %s@."
+              (Format.asprintf "%a" Target.pp target)
+              (Contract.name contract) (Violation.summary v);
+            1
+        | Ok None ->
+            Format.printf "%s vs %s: no violation@."
+              (Format.asprintf "%a" Target.pp target)
+              (Contract.name contract);
+            0
+        | Error e ->
+            Printf.eprintf "gadget faulted: %s\n" e;
+            2)
+
+let gadget_cmd =
+  let gadget_name =
+    Arg.(
+      value & pos 0 string "spectre-v1"
+      & info [] ~docv:"NAME" ~doc:"Gadget name (see --list).")
+  in
+  let list_them = Arg.(value & flag & info [ "list" ] ~doc:"List gadgets.") in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Check a hand-written gadget against a contract.")
+    Term.(
+      const do_gadget $ gadget_name $ list_them $ contract_arg $ target_arg
+      $ seed_arg)
+
+(* --- reproduce -------------------------------------------------------- *)
+
+let do_reproduce what budget runs seed =
+  let section title body =
+    Printf.printf "\n=== %s ===\n%s\n%!" title body
+  in
+  let all = what = "all" in
+  if all || what = "table3" then
+    section "Table 3: contract violations per target"
+      (Report.table3 (Experiments.table3 ~budget ~seed ()));
+  if all || what = "table4" then
+    section "Table 4: detection time"
+      (Report.table4 ~runs (Experiments.table4 ~runs ~seed ()));
+  if all || what = "table5" then
+    section "Table 5: inputs to violation on hand-written gadgets"
+      (Report.table5 (Experiments.table5 ~runs:(max runs 20) ~seed ()));
+  if all || what = "store-eviction" then
+    section "Section 6.4: speculative store eviction"
+      (Report.store_eviction (Experiments.store_eviction_check ~seed ()));
+  if all || what = "sensitivity" then
+    section "Section 6.6: contract sensitivity (STT)"
+      (Report.sensitivity (Experiments.contract_sensitivity ~seed ()));
+  if all || what = "throughput" then
+    section "Appendix A.5.3: fuzzing throughput"
+      (Report.throughput (Experiments.throughput ~seed ()));
+  if all || what = "ports" then
+    section "Extension: port-contention channel"
+      (String.concat "\n"
+         (List.map
+            (fun (g, channel, violated) ->
+              Printf.sprintf "%-18s via %-16s %s" g channel
+                (if violated then "VIOLATION" else "compliant"))
+            (Experiments.port_channel_demo ~seed ())));
+  if all || what = "ablations" then begin
+    section "Ablation: priming" (Report.ablation (Experiments.ablation_priming ~seed ()));
+    section "Ablation: input entropy"
+      (Report.entropy_sweep (Experiments.ablation_entropy ~seed ()));
+    section "Ablation: noise filtering"
+      (Report.ablation (Experiments.ablation_noise_filtering ~seed ()));
+    section "Ablation: trace equivalence"
+      (Report.ablation (Experiments.ablation_equivalence ~seed ()));
+    section "Ablation: swap check"
+      (Report.ablation (Experiments.ablation_swap_check ~seed ()));
+    section "Ablation: coverage feedback"
+      (Report.ablation (Experiments.ablation_feedback ~seed ()))
+  end;
+  0
+
+let reproduce_cmd =
+  let what =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of: table3, table4, table5, store-eviction, sensitivity, \
+             throughput, ports, ablations, all.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 400
+      & info [ "budget" ] ~docv:"N" ~doc:"Test-case budget per Table 3 cell.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 10
+      & info [ "runs" ] ~docv:"N" ~doc:"Repetitions for Tables 4 and 5.")
+  in
+  Cmd.v
+    (Cmd.info "reproduce" ~doc:"Re-run the paper's experiments and print the tables.")
+    Term.(const do_reproduce $ what $ budget $ runs $ seed_arg)
+
+(* --- isa --------------------------------------------------------------- *)
+
+let do_isa () =
+  let open Revizor_isa in
+  let show name subsets =
+    Printf.printf "%-18s %4d unique instruction variants\n" name
+      (Catalog.count subsets)
+  in
+  show "AR" [ Catalog.AR ];
+  show "AR+MEM" [ Catalog.AR; Catalog.MEM ];
+  show "AR+MEM+VAR" [ Catalog.AR; Catalog.MEM; Catalog.VAR ];
+  show "AR+CB" [ Catalog.AR; Catalog.CB ];
+  show "AR+MEM+CB" [ Catalog.AR; Catalog.MEM; Catalog.CB ];
+  show "AR+MEM+CB+VAR" [ Catalog.AR; Catalog.MEM; Catalog.CB; Catalog.VAR ];
+  show "+IND (extension)"
+    [ Catalog.AR; Catalog.MEM; Catalog.CB; Catalog.VAR; Catalog.IND ];
+  0
+
+let isa_cmd =
+  Cmd.v
+    (Cmd.info "isa" ~doc:"Report the instruction-catalog sizes (cf. §6.1).")
+    Term.(const do_isa $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "revizor" ~version:"1.0.0"
+       ~doc:
+         "Model-based Relational Testing of (simulated) black-box CPUs \
+          against speculation contracts.")
+    [ fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd ]
+
+let () = exit (Cmd.eval' main)

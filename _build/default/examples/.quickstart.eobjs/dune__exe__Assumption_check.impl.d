@@ -1,0 +1,1 @@
+examples/assumption_check.ml: Attack Contract Cpu Executor Format Fuzzer Gadgets Input Prng Revizor Revizor_isa Revizor_uarch Target Uarch_config Violation

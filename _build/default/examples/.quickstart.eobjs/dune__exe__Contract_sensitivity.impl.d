@@ -1,0 +1,1 @@
+examples/contract_sensitivity.ml: Contract Executor Format Fuzzer Gadgets Input Prng Revizor Revizor_isa Revizor_uarch Target

@@ -1,0 +1,1 @@
+examples/contract_sensitivity.mli:

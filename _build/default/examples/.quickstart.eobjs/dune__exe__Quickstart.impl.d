@@ -1,0 +1,1 @@
+examples/quickstart.ml: Contract Executor Format Fuzzer Postprocessor Revizor Revizor_isa Revizor_uarch Target Violation

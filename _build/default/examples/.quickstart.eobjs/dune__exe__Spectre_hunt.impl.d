@@ -1,0 +1,1 @@
+examples/spectre_hunt.ml: Array Contract Format Fuzzer List Revizor Sys Target Violation

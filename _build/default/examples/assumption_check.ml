@@ -1,0 +1,55 @@
+(* Assumption check (§6.4): "stores do not modify the cache state until
+   they retire" — an assumption made by the STT and KLEESpectre defence
+   proposals. Revizor encodes it as a contract (CT-COND without exposure
+   of speculative-path stores) and tests CPUs against it.
+
+   The paper's finding, reproduced here: Skylake complies, Coffee Lake
+   does NOT — speculative stores leave cache traces.
+
+   Run with:  dune exec examples/assumption_check.exe *)
+
+open Revizor
+open Revizor_uarch
+
+let check_cpu name uarch =
+  let target =
+    {
+      Target.name;
+      uarch;
+      subsets = Revizor_isa.Catalog.[ AR; MEM; CB ];
+      threat = Attack.prime_probe;
+      mem_pages = 1;
+    }
+  in
+  let contract = Contract.ct_cond_no_spec_store in
+  Format.printf "%-36s vs %s: %!" uarch.Uarch_config.name
+    (Contract.name contract);
+  (* First, the targeted check on the §6.4 gadget... *)
+  let config = Target.fuzzer_config ~seed:3L contract target in
+  let cpu = Cpu.create config.Fuzzer.uarch in
+  let executor = Executor.create cpu config.Fuzzer.executor in
+  let prng = Prng.create ~seed:3L in
+  let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
+  let gadget = Gadgets.spec_store_eviction in
+  (match Fuzzer.check_test_case config executor gadget.Gadgets.program inputs with
+  | Ok (Some v) -> Format.printf "VIOLATED by the gadget (%s)@." v.Violation.label
+  | Ok None -> Format.printf "gadget leaves no trace@."
+  | Error e -> Format.printf "gadget faulted (%s)@." e);
+  (* ... then a short random-fuzzing confirmation, as the paper did. *)
+  Format.printf "%-36s random fuzzing: %!" "";
+  match Fuzzer.fuzz config ~budget:(Fuzzer.Test_cases 400) with
+  | Fuzzer.Violation v, stats ->
+      Format.printf "violation after %d test cases (%s)@.@."
+        stats.Fuzzer.test_cases v.Violation.label
+  | Fuzzer.No_violation, stats ->
+      Format.printf "no violation in %d test cases@.@." stats.Fuzzer.test_cases
+
+let () =
+  Format.printf
+    "Validating the STT/KLEESpectre assumption: do speculative stores@.modify \
+     the cache before retiring? (paper §6.4)@.@.";
+  check_cpu "Skylake" (Uarch_config.skylake ~v4_patch:true);
+  check_cpu "Coffee Lake" Uarch_config.coffee_lake;
+  Format.printf
+    "Conclusion (as in the paper): the assumption holds on Skylake but is@.wrong \
+     on Coffee Lake — defences relying on it are unsound there.@."

@@ -1,0 +1,36 @@
+(* Quickstart: test a (simulated) CPU against a speculation contract.
+
+   This is the 20-line version of the whole framework: pick a target
+   (CPU model x ISA subset x threat model), pick a contract, fuzz, and
+   inspect the counterexample Revizor finds.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Revizor
+
+let () =
+  (* Target 5 of the paper: Skylake (V4 patch on), AR+MEM+CB instructions,
+     Prime+Probe on the L1D cache. *)
+  let target = Target.target5 in
+  (* CT-SEQ: the constant-time observation clause with sequential-only
+     execution — "speculation must expose nothing". *)
+  let contract = Contract.ct_seq in
+  Format.printf "Testing %a@.against %s...@.@." Target.pp target
+    (Contract.name contract);
+
+  let config = Target.fuzzer_config ~seed:1L contract target in
+  match Fuzzer.fuzz config ~budget:(Fuzzer.Test_cases 500) with
+  | Fuzzer.No_violation, stats ->
+      Format.printf "No violation found.@.%a@." Fuzzer.pp_stats stats
+  | Fuzzer.Violation v, stats ->
+      Format.printf "Counterexample found after %d test cases!@.@.%a@.@."
+        stats.Fuzzer.test_cases Violation.pp v;
+      (* Minimize it, as the paper's postprocessor does (§5.7): fewer
+         inputs, fewer instructions, LFENCEs delimiting the leak. *)
+      let cpu = Revizor_uarch.Cpu.create config.Fuzzer.uarch in
+      let executor = Executor.create cpu config.Fuzzer.executor in
+      let m = Postprocessor.minimize config executor v in
+      Format.printf "Minimized test case (cf. Fig. 4):@.%a@.@."
+        Revizor_isa.Program.pp m.Postprocessor.program;
+      Format.printf "With leak-localizing fences:@.%a@." Revizor_isa.Program.pp
+        m.Postprocessor.fenced

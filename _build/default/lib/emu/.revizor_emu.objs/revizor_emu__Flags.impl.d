@@ -1,0 +1,1 @@
+lib/emu/flags.ml: Cond Format Int64 List Revizor_isa Width Word

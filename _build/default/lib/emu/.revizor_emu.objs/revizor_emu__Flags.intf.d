@@ -1,0 +1,1 @@
+lib/emu/flags.mli: Cond Format Revizor_isa Width

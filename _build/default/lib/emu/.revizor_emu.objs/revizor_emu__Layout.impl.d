@@ -1,0 +1,1 @@
+lib/emu/layout.ml: Int64

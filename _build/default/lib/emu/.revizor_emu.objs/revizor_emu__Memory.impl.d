@@ -1,0 +1,1 @@
+lib/emu/memory.ml: Bytes Char Int64 Layout Revizor_isa Width

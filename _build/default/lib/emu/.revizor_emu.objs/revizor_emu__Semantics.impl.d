@@ -1,0 +1,1 @@
+lib/emu/semantics.ml: Array Flags Instruction Int64 List Memory Opcode Operand Printf Program Reg Revizor_isa State Width Word

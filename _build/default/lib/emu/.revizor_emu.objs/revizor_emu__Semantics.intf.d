@@ -1,0 +1,1 @@
+lib/emu/semantics.mli: Instruction Operand Program Revizor_isa State Width

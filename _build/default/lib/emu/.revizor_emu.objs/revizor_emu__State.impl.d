@@ -1,0 +1,1 @@
+lib/emu/state.ml: Array Flags Format Layout List Memory Reg Revizor_isa Width Word

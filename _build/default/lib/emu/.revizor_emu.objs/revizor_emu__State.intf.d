@@ -1,0 +1,1 @@
+lib/emu/state.mli: Flags Format Memory Reg Revizor_isa Width

@@ -1,0 +1,1 @@
+lib/emu/word.ml: Int64 Revizor_isa Width

@@ -1,0 +1,1 @@
+lib/emu/word.mli: Revizor_isa Width

@@ -1,0 +1,51 @@
+open Revizor_isa
+
+type t = { data : bytes }
+
+exception Fault of int64
+
+let create () = { data = Bytes.make Layout.sandbox_size '\000' }
+
+let check t addr width =
+  let off = Int64.sub addr Layout.sandbox_base in
+  if
+    Int64.compare off 0L < 0
+    || Int64.compare
+         (Int64.add off (Int64.of_int (Width.bytes width)))
+         (Int64.of_int (Bytes.length t.data))
+       > 0
+  then raise (Fault addr);
+  Int64.to_int off
+
+let read t ~addr width =
+  let off = check t addr width in
+  let v = ref 0L in
+  for k = Width.bytes width - 1 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get t.data (off + k))))
+  done;
+  !v
+
+let write t ~addr width v =
+  let off = check t addr width in
+  for k = 0 to Width.bytes width - 1 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)
+    in
+    Bytes.set t.data (off + k) (Char.chr byte)
+  done
+
+let read_byte t off = Char.code (Bytes.get t.data off)
+let write_byte t off v = Bytes.set t.data off (Char.chr (v land 0xFF))
+
+let fill t ~f =
+  for off = 0 to Bytes.length t.data - 1 do
+    let v = if off < Layout.data_pages * Layout.page_size then f off land 0xFF else 0 in
+    Bytes.set t.data off (Char.chr v)
+  done
+
+let snapshot t = Bytes.copy t.data
+let restore t snap = Bytes.blit snap 0 t.data 0 (Bytes.length t.data)
+let copy t = { data = Bytes.copy t.data }
+let equal a b = Bytes.equal a.data b.data

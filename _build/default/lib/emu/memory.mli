@@ -1,0 +1,31 @@
+open Revizor_isa
+
+(** The sandbox memory: a little-endian byte array mapped at
+    {!Layout.sandbox_base}. Accesses outside it raise {!Fault} — generated
+    test cases can never fault thanks to the masking instrumentation, but
+    hand-written gadgets are checked. *)
+
+type t
+
+exception Fault of int64
+(** Access outside the sandbox (the faulting virtual address). *)
+
+val create : unit -> t
+(** Zero-initialized sandbox. *)
+
+val read : t -> addr:int64 -> Width.t -> int64
+val write : t -> addr:int64 -> Width.t -> int64 -> unit
+
+val read_byte : t -> int -> int
+(** Read by sandbox offset (for input setup and inspection). *)
+
+val write_byte : t -> int -> int -> unit
+
+val fill : t -> f:(int -> int) -> unit
+(** Initialize every data byte from its offset ([f] returns 0–255); the
+    guard tail is zeroed. *)
+
+val snapshot : t -> bytes
+val restore : t -> bytes -> unit
+val copy : t -> t
+val equal : t -> t -> bool

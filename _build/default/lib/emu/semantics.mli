@@ -1,0 +1,47 @@
+open Revizor_isa
+
+(** Architectural execution of the modelled ISA.
+
+    {!step} executes the instruction at [state.pc] of a flattened program,
+    mutates the state (registers, flags, memory, pc) and reports the
+    instruction's externally relevant effects: memory accesses in program
+    order and the branch decision, if any. Both the contract model and the
+    hardware simulator are built on this single semantics, so they can
+    never disagree on architectural behaviour. *)
+
+exception Division_fault
+(** Division by zero or quotient overflow (#DE). Generated test cases are
+    instrumented to never raise it. *)
+
+type access = {
+  kind : [ `Load | `Store ];
+  addr : int64;
+  width : Width.t;
+  value : int64;  (** value loaded / stored *)
+}
+
+type outcome = {
+  inst : Instruction.t;
+  pc : int;  (** index of the executed instruction *)
+  accesses : access list;
+  taken : bool option;  (** [Some b] for conditional jumps *)
+  next : int;  (** next pc; equals the code length on fall-off-the-end *)
+}
+
+val mem_addr : State.t -> Operand.mem -> int64
+(** Effective address of a memory operand in the given state. *)
+
+val mask_code_index : code_len:int -> int64 -> int
+(** Confine a dynamic control-flow target (RET / indirect jump) to
+    [\[0, code_len\]] — the control-flow analogue of sandbox masking. *)
+
+val step : Program.flat -> State.t -> outcome
+(** @raise Division_fault on #DE
+    @raise Memory.Fault on an access outside the sandbox
+    @raise Invalid_argument if [state.pc] is out of range or the
+    instruction's operand shape is unsupported. *)
+
+val run : ?max_steps:int -> Program.flat -> State.t -> outcome list
+(** Execute from [state.pc] until the program ends, in program order.
+    [max_steps] (default 4096) bounds dynamic control flow (RET and
+    indirect-jump targets are data-dependent and could loop). *)

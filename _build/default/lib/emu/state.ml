@@ -1,0 +1,49 @@
+open Revizor_isa
+
+type t = {
+  regs : int64 array;
+  mutable flags : Flags.t;
+  mem : Memory.t;
+  mutable pc : int;
+}
+
+let create () =
+  let regs = Array.make 16 0L in
+  regs.(Reg.index Reg.sandbox_base) <- Layout.sandbox_base;
+  regs.(Reg.index Reg.stack_pointer) <- Layout.stack_top;
+  { regs; flags = Flags.empty; mem = Memory.create (); pc = 0 }
+
+let get_reg t r w = Word.zext w t.regs.(Reg.index r)
+
+let set_reg t r w v =
+  let i = Reg.index r in
+  t.regs.(i) <- Word.merge w ~old:t.regs.(i) v
+
+type snapshot = { s_regs : int64 array; s_flags : Flags.t; s_mem : bytes; s_pc : int }
+
+let snapshot t =
+  { s_regs = Array.copy t.regs;
+    s_flags = t.flags;
+    s_mem = Memory.snapshot t.mem;
+    s_pc = t.pc }
+
+let restore t s =
+  Array.blit s.s_regs 0 t.regs 0 16;
+  t.flags <- s.s_flags;
+  Memory.restore t.mem s.s_mem;
+  t.pc <- s.s_pc
+
+let copy t =
+  { regs = Array.copy t.regs; flags = t.flags; mem = Memory.copy t.mem; pc = t.pc }
+
+let equal_arch a b =
+  a.regs = b.regs && Flags.equal a.flags b.flags && Memory.equal a.mem b.mem
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>pc=%d flags=%a" t.pc Flags.pp t.flags;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "@,%s = 0x%Lx" (Reg.name r Width.W64)
+        t.regs.(Reg.index r))
+    Reg.gen_pool;
+  Format.fprintf fmt "@]"

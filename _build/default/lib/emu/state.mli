@@ -1,0 +1,33 @@
+open Revizor_isa
+
+(** Architectural machine state: register file, status flags, sandbox
+    memory and program counter (an index into the flattened program). *)
+
+type t = {
+  regs : int64 array;  (** indexed by {!Reg.index} *)
+  mutable flags : Flags.t;
+  mem : Memory.t;
+  mutable pc : int;
+}
+
+val create : unit -> t
+(** Fresh state: registers zero except R14 = sandbox base and
+    RSP = stack top; empty flags; zeroed memory; pc = 0. *)
+
+val get_reg : t -> Reg.t -> Width.t -> int64
+(** Zero-extended read of the register at the given width. *)
+
+val set_reg : t -> Reg.t -> Width.t -> int64 -> unit
+(** x86 merge semantics (32-bit writes zero the upper half). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val copy : t -> t
+
+val equal_arch : t -> t -> bool
+(** Equality of registers, flags and memory (pc ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** Registers of the generator pool, flags and pc (diagnostics). *)

@@ -1,0 +1,26 @@
+open Revizor_isa
+
+(** 64-bit machine words manipulated at x86 operand widths. *)
+
+type t = int64
+
+val zext : Width.t -> t -> t
+(** Truncate to the width (zero-extension when read back as 64-bit). *)
+
+val sext : Width.t -> t -> t
+(** Truncate to the width, then sign-extend to 64 bits. *)
+
+val sign_set : Width.t -> t -> bool
+(** Whether the top bit of the width is set. *)
+
+val parity_even : t -> bool
+(** x86 PF: even number of set bits in the low byte. *)
+
+val merge : Width.t -> old:t -> t -> t
+(** x86 sub-register write semantics applied to a 64-bit container: a 32-bit
+    write zeroes the upper half; 8/16-bit writes preserve upper bits. *)
+
+val ult : t -> t -> bool
+(** Unsigned less-than. *)
+
+val ule : t -> t -> bool

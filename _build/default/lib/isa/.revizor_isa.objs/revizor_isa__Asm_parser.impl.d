@@ -1,0 +1,1 @@
+lib/isa/asm_parser.ml: Buffer Instruction Int64 List Opcode Operand Option Printf Program Reg String Width

@@ -1,0 +1,1 @@
+lib/isa/catalog.ml: Cond Format List Opcode Printf Stdlib String Width

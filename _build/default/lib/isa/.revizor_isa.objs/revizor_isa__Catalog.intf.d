@@ -1,0 +1,1 @@
+lib/isa/catalog.mli: Format Opcode Width

@@ -1,0 +1,1 @@
+lib/isa/operand.ml: Buffer Format Int64 Printf Reg Width

@@ -1,0 +1,205 @@
+let strip_comment line =
+  let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+  cut '#' (cut ';' line)
+
+let parse_int64 s =
+  let s = String.trim s in
+  let neg, s =
+    if String.length s > 0 && s.[0] = '-' then (true, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  let value =
+    if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      Int64.of_string_opt ("0x" ^ String.sub s 2 (String.length s - 2))
+    else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'b' || s.[1] = 'B') then
+      Int64.of_string_opt ("0b" ^ String.sub s 2 (String.length s - 2))
+    else Int64.of_string_opt s
+  in
+  Option.map (fun v -> if neg then Int64.neg v else v) value
+
+let width_of_keyword = function
+  | "byte" -> Some Width.W8
+  | "word" -> Some Width.W16
+  | "dword" -> Some Width.W32
+  | "qword" -> Some Width.W64
+  | _ -> None
+
+(* Memory reference body: terms separated by + or -, each REG, REG*scale,
+   or a displacement constant. *)
+let parse_mem_body body w =
+  let base = ref None and index = ref None and scale = ref 1 and disp = ref 0 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  (* split into signed terms *)
+  let terms = ref [] in
+  let buf = Buffer.create 8 in
+  let sign = ref 1 in
+  String.iter
+    (fun c ->
+      match c with
+      | '+' | '-' ->
+          if Buffer.length buf > 0 then terms := (!sign, Buffer.contents buf) :: !terms;
+          Buffer.clear buf;
+          sign := if c = '-' then -1 else 1
+      | ' ' | '\t' -> ()
+      | c -> Buffer.add_char buf c)
+    body;
+  if Buffer.length buf > 0 then terms := (!sign, Buffer.contents buf) :: !terms;
+  List.iter
+    (fun (sign, term) ->
+      match String.index_opt term '*' with
+      | Some i -> (
+          let reg_s = String.sub term 0 i in
+          let scale_s = String.sub term (i + 1) (String.length term - i - 1) in
+          match (Reg.of_name reg_s, int_of_string_opt scale_s) with
+          | Some (r, Width.W64), Some sc when sign = 1 ->
+              if !index = None then begin index := Some r; scale := sc end
+              else fail "two index registers"
+          | _ -> fail (Printf.sprintf "bad scaled term %S" term))
+      | None -> (
+          match Reg.of_name term with
+          | Some (r, Width.W64) when sign = 1 ->
+              if !base = None then base := Some r
+              else if !index = None then index := Some r
+              else fail "too many registers in memory operand"
+          | Some _ -> fail "memory operand registers must be 64-bit"
+          | None -> (
+              match parse_int64 term with
+              | Some v -> disp := !disp + (sign * Int64.to_int v)
+              | None -> fail (Printf.sprintf "bad term %S" term))))
+    (List.rev !terms);
+  match !err with
+  | Some msg -> Error msg
+  | None -> (
+      try Ok (Operand.mem ~w ?base:!base ?index:!index ~scale:!scale ~disp:!disp ())
+      with Invalid_argument msg -> Error msg)
+
+let parse_operand s : (Operand.t, string) result =
+  let s = String.trim s in
+  let lower = String.lowercase_ascii s in
+  (* memory reference: "<width> ptr [ ... ]" *)
+  match String.index_opt s '[' with
+  | Some open_b when String.length lower >= 4 -> (
+      let close_b =
+        match String.rindex_opt s ']' with Some i -> i | None -> -1 in
+      if close_b <= open_b then Error "unterminated memory operand"
+      else
+        let header = String.trim (String.sub s 0 open_b) in
+        let body = String.sub s (open_b + 1) (close_b - open_b - 1) in
+        let header_words =
+          List.filter (fun w -> w <> "")
+            (String.split_on_char ' ' (String.lowercase_ascii header))
+        in
+        match header_words with
+        | [ wkw; "ptr" ] | [ wkw ] -> (
+            match width_of_keyword wkw with
+            | Some w -> parse_mem_body body w
+            | None -> Error (Printf.sprintf "bad width keyword %S" wkw))
+        | [] -> parse_mem_body body Width.W64
+        | _ -> Error (Printf.sprintf "bad memory operand header %S" header))
+  | _ -> (
+      match Reg.of_name s with
+      | Some (r, w) -> Ok (Operand.Reg (r, w))
+      | None -> (
+          match parse_int64 s with
+          | Some v -> Ok (Operand.Imm v)
+          | None -> Error (Printf.sprintf "bad operand %S" s)))
+
+let split_operands s =
+  (* split on commas that are not inside brackets *)
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' -> incr depth; Buffer.add_char buf c
+      | ']' -> decr depth; Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  if String.trim (Buffer.contents buf) <> "" || !parts <> [] then
+    parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let parse_instruction line : (Instruction.t, string) result =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Error "empty line"
+  else
+    let lock, line =
+      let up = String.uppercase_ascii line in
+      if String.length up > 5 && String.sub up 0 5 = "LOCK " then
+        (true, String.trim (String.sub line 5 (String.length line - 5)))
+      else (false, line)
+    in
+    let mnemonic, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+          (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | None -> (line, "")
+    in
+    match Opcode.of_mnemonic mnemonic with
+    | None -> Error (Printf.sprintf "unknown mnemonic %S" mnemonic)
+    | Some opcode -> (
+        let parts = if rest = "" then [] else split_operands rest in
+        (* branch targets: a trailing ".label" operand *)
+        let target, operand_parts =
+          match List.rev parts with
+          | last :: before when String.length last > 0 && last.[0] = '.' ->
+              (Some (String.sub last 1 (String.length last - 1)), List.rev before)
+          | _ -> (None, parts)
+        in
+        let rec parse_all acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+              match parse_operand p with
+              | Ok op -> parse_all (op :: acc) rest
+              | Error e -> Error e)
+        in
+        match parse_all [] operand_parts with
+        | Error e -> Error e
+        | Ok operands -> (
+            let inst = Instruction.make ~operands ?target ~lock opcode in
+            match Instruction.validate inst with
+            | Ok () -> Ok inst
+            | Error e -> Error e))
+
+let parse_program text : (Program.t, string) result =
+  let lines = String.split_on_char '\n' text in
+  let blocks = ref [] in
+  let current_label = ref None in
+  let current = ref [] in
+  let error = ref None in
+  let flush () =
+    match (!current_label, !current) with
+    | None, [] -> ()
+    | label, insts ->
+        let label = Option.value label ~default:"bb0" in
+        blocks := Program.block label (List.rev insts) :: !blocks;
+        current_label := None;
+        current := []
+  in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then
+        let line = String.trim (strip_comment raw) in
+        if line = "" then ()
+        else if line.[0] = '.' && line.[String.length line - 1] = ':' then begin
+          flush ();
+          current_label := Some (String.sub line 1 (String.length line - 2))
+        end
+        else
+          match parse_instruction line with
+          | Ok inst -> current := inst :: !current
+          | Error e -> error := Some (Printf.sprintf "line %d: %s" (lineno + 1) e))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      flush ();
+      let prog = Program.make (List.rev !blocks) in
+      (match Program.flatten prog with
+      | Ok _ -> Ok prog
+      | Error e -> Error e)

@@ -1,0 +1,18 @@
+(** Parser for the Intel-syntax assembly listings printed by
+    {!Program.pp} — used to load saved test cases (the format of the
+    paper artifact's [*.asm] counterexamples) and to round-trip programs
+    in tests.
+
+    Accepted syntax, line by line:
+    - [.label:] starts a new basic block;
+    - [\[LOCK\] MNEMONIC op1, op2] with operands being register names,
+      immediates (decimal, [0x...], [0b...], negative), memory references
+      [(byte|word|dword|qword) ptr \[R14 + RAX*2 + 8\]], or branch targets
+      [.label];
+    - [#] and [;] start comments; blank lines are ignored. *)
+
+val parse_program : string -> (Program.t, string) result
+(** Errors carry the 1-based line number. *)
+
+val parse_instruction : string -> (Instruction.t, string) result
+(** A single instruction line (no labels). *)

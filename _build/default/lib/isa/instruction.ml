@@ -1,0 +1,180 @@
+type t = {
+  opcode : Opcode.t;
+  operands : Operand.t list;
+  target : string option;
+  lock : bool;
+}
+
+let make ?(operands = []) ?target ?(lock = false) opcode =
+  { opcode; operands; target; lock }
+
+let binop opcode dst src = make ~operands:[ dst; src ] opcode
+let unop opcode dst = make ~operands:[ dst ] opcode
+let mov dst src = binop Opcode.Mov dst src
+let jcc c lbl = make ~target:lbl (Opcode.Jcc c)
+let jmp lbl = make ~target:lbl Opcode.Jmp
+let jmp_ind r = make ~operands:[ Operand.reg r ] Opcode.JmpInd
+let call lbl = make ~target:lbl Opcode.Call
+let ret = make Opcode.Ret
+let lfence = make Opcode.Lfence
+let mfence = make Opcode.Mfence
+let nop = make Opcode.Nop
+let div src = unop Opcode.Div src
+let idiv src = unop Opcode.Idiv src
+let cmov c dst src = binop (Opcode.Cmov c) dst src
+let setcc c dst = unop (Opcode.Setcc c) dst
+
+let same_width (a : Operand.t) (b : Operand.t) =
+  match (Operand.width a, Operand.width b) with
+  | Some wa, Some wb -> Width.equal wa wb
+  | _, None | None, _ -> true
+
+let validate (i : t) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let reject_two_mems a b =
+    if Operand.is_mem a && Operand.is_mem b then
+      err "%s: two memory operands" (Opcode.mnemonic i.opcode)
+    else Ok ()
+  in
+  match (i.opcode, i.operands) with
+  | (Add | Adc | Sub | Sbb | And | Or | Xor | Cmp | Test | Mov), [ dst; src ] -> (
+      match dst with
+      | Operand.Imm _ -> err "destination is an immediate"
+      | Operand.Reg _ | Operand.Mem _ ->
+          if not (same_width dst src) then err "operand width mismatch"
+          else reject_two_mems dst src)
+  | Imul, [ dst; src ] -> (
+      match (dst, src) with
+      | Operand.Reg (_, w), (Operand.Reg (_, w') | Operand.Mem (_, w'))
+        when Width.equal w w' && not (Width.equal w Width.W8) ->
+          Ok ()
+      | Operand.Reg (_, w), Operand.Imm _ when not (Width.equal w Width.W8) ->
+          Ok ()
+      | _ -> err "IMUL: needs a 16/32/64-bit register destination")
+  | (Inc | Dec | Neg | Not), [ (Operand.Reg _ | Operand.Mem _) ] -> Ok ()
+  | (Shl | Shr | Sar | Rol | Ror), [ dst; src ] -> (
+      match (dst, src) with
+      | (Operand.Reg _ | Operand.Mem _), Operand.Imm _ -> Ok ()
+      | (Operand.Reg _ | Operand.Mem _), Operand.Reg (Reg.RCX, Width.W8) -> Ok ()
+      | _ -> err "shift/rotate: source must be an immediate or CL")
+  | (Movzx | Movsx), [ dst; src ] -> (
+      match (dst, src) with
+      | Operand.Reg (_, wd), (Operand.Reg (_, ws) | Operand.Mem (_, ws))
+        when Width.bits wd > Width.bits ws ->
+          Ok ()
+      | _ -> err "%s: needs a wider register destination" (Opcode.mnemonic i.opcode))
+  | Xchg, [ a; b ] -> (
+      match (a, b) with
+      | Operand.Reg (_, wa), Operand.Reg (_, wb) when Width.equal wa wb -> Ok ()
+      | Operand.Mem (_, wa), Operand.Reg (_, wb)
+      | Operand.Reg (_, wa), Operand.Mem (_, wb)
+        when Width.equal wa wb ->
+          Ok ()
+      | _ -> err "XCHG: operands must be same-width reg/reg or reg/mem")
+  | Cmov _, [ Operand.Reg (_, w); (Operand.Reg (_, w') | Operand.Mem (_, w')) ]
+    when Width.equal w w' && not (Width.equal w Width.W8) ->
+      Ok ()
+  | Cmov _, _ -> err "CMOVcc: needs 16/32/64-bit register destination"
+  | Setcc _, [ (Operand.Reg (_, Width.W8) | Operand.Mem (_, Width.W8)) ] -> Ok ()
+  | Setcc _, _ -> err "SETcc: needs an 8-bit destination"
+  | (Div | Idiv), [ (Operand.Reg (_, w) | Operand.Mem (_, w)) ] ->
+      if Width.equal w Width.W8 then err "8-bit division is not modelled"
+      else Ok ()
+  | (Jcc _ | Jmp | Call), [] ->
+      if i.target = None then err "%s: missing target" (Opcode.mnemonic i.opcode)
+      else Ok ()
+  | JmpInd, [ Operand.Reg (_, Width.W64) ] -> Ok ()
+  | (Ret | Lfence | Mfence | Nop), [] -> Ok ()
+  | op, ops ->
+      err "%s: unsupported operand shape (%d operands)" (Opcode.mnemonic op)
+        (List.length ops)
+
+let has_mem_operand i = List.exists Operand.is_mem i.operands
+
+let loads i =
+  match i.opcode with
+  | Ret -> true
+  | Mov | Movzx | Movsx -> (
+      match i.operands with [ _; src ] -> Operand.is_mem src | _ -> false)
+  | Setcc _ -> false (* write-only destination *)
+  | _ -> has_mem_operand i
+
+let stores i =
+  match i.opcode with
+  | Call -> true
+  | Cmp | Test -> false (* read-only "destinations" *)
+  | Mov | Setcc _ -> (
+      match i.operands with dst :: _ -> Operand.is_mem dst | [] -> false)
+  | Add | Adc | Sub | Sbb | And | Or | Xor | Inc | Dec | Neg | Not | Shl | Shr
+  | Sar | Rol | Ror -> (
+      match i.operands with dst :: _ -> Operand.is_mem dst | [] -> false)
+  | Xchg -> has_mem_operand i
+  | Imul | Movzx | Movsx | Cmov _ | Div | Idiv | Jcc _ | Jmp | JmpInd | Ret
+  | Lfence | Mfence | Nop ->
+      false
+
+let mem_operand i =
+  List.find_map
+    (function Operand.Mem (m, w) -> Some (m, w) | Operand.Reg _ | Operand.Imm _ -> None)
+    i.operands
+
+let dedup rs = List.sort_uniq Reg.compare rs
+
+let regs_read i =
+  let explicit =
+    match (i.opcode, i.operands) with
+    | (Mov | Movzx | Movsx | Cmov _), [ dst; src ] ->
+        (* MOV/CMOV do not read a register destination, but a memory
+           destination's address registers are read. *)
+        (if Operand.is_mem dst then Operand.regs_read dst else [])
+        @ Operand.regs_read src
+    | Setcc _, [ dst ] -> if Operand.is_mem dst then Operand.regs_read dst else []
+    | _, ops -> List.concat_map Operand.regs_read ops
+  in
+  let implicit =
+    match i.opcode with
+    | Div | Idiv -> [ Reg.RAX; Reg.RDX ]
+    | Call | Ret -> [ Reg.stack_pointer ]
+    | _ -> []
+  in
+  dedup (explicit @ implicit)
+
+let regs_written i =
+  let explicit =
+    match (i.opcode, i.operands) with
+    | ( ( Cmp | Test | Div | Idiv | Jcc _ | Jmp | JmpInd | Call | Ret | Lfence
+        | Mfence | Nop ),
+        _ ) ->
+        []
+    | Xchg, ops ->
+        List.filter_map
+          (function Operand.Reg (r, _) -> Some r | Operand.Mem _ | Operand.Imm _ -> None)
+          ops
+    | _, Operand.Reg (r, _) :: _ -> [ r ]
+    | _, _ -> []
+  in
+  let implicit =
+    match i.opcode with
+    | Div | Idiv -> [ Reg.RAX; Reg.RDX ]
+    | Call | Ret -> [ Reg.stack_pointer ]
+    | _ -> []
+  in
+  dedup (explicit @ implicit)
+
+let pp fmt i =
+  if i.lock then Format.pp_print_string fmt "LOCK ";
+  Format.pp_print_string fmt (Opcode.mnemonic i.opcode);
+  (match (i.operands, i.target) with
+  | [], None -> ()
+  | [], Some lbl -> Format.fprintf fmt " .%s" lbl
+  | ops, _ ->
+      Format.pp_print_string fmt " ";
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        Operand.pp fmt ops);
+  match (i.operands, i.target) with
+  | _ :: _, Some lbl -> Format.fprintf fmt ", .%s" lbl
+  | _ -> ()
+
+let to_string i = Format.asprintf "%a" pp i
+let equal (a : t) (b : t) = a = b

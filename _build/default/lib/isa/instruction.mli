@@ -1,0 +1,64 @@
+(** Instructions: an opcode, its operands, an optional control-flow target
+    label and an optional LOCK prefix.
+
+    Smart constructors enforce the operand shapes accepted by the emulator;
+    {!validate} re-checks a hand-built instruction. *)
+
+type t = {
+  opcode : Opcode.t;
+  operands : Operand.t list;
+  target : string option;  (** label, for Jcc / JMP / CALL *)
+  lock : bool;
+}
+
+(** {1 Constructors} *)
+
+val make :
+  ?operands:Operand.t list -> ?target:string -> ?lock:bool -> Opcode.t -> t
+
+val binop : Opcode.t -> Operand.t -> Operand.t -> t
+(** Two-operand instruction [OP dst, src]. *)
+
+val unop : Opcode.t -> Operand.t -> t
+(** One-operand instruction [OP dst]. *)
+
+val mov : Operand.t -> Operand.t -> t
+val jcc : Cond.t -> string -> t
+val jmp : string -> t
+val jmp_ind : Reg.t -> t
+val call : string -> t
+val ret : t
+val lfence : t
+val mfence : t
+val nop : t
+val div : Operand.t -> t
+val idiv : Operand.t -> t
+val cmov : Cond.t -> Operand.t -> Operand.t -> t
+val setcc : Cond.t -> Operand.t -> t
+
+(** {1 Queries} *)
+
+val validate : t -> (unit, string) result
+(** Check the operand shape against what the emulator implements. *)
+
+val loads : t -> bool
+(** Whether executing the instruction reads memory (incl. RMW, RET). *)
+
+val stores : t -> bool
+(** Whether executing the instruction writes memory (incl. RMW, CALL). *)
+
+val mem_operand : t -> (Operand.mem * Width.t) option
+(** The explicit memory operand, if any. *)
+
+val regs_read : t -> Reg.t list
+(** Registers read by the instruction (dataflow sources, including address
+    registers and implicit operands of DIV/CALL/RET). *)
+
+val regs_written : t -> Reg.t list
+(** Registers written (dataflow destinations, including implicit ones). *)
+
+val pp : Format.formatter -> t -> unit
+(** Intel syntax, e.g. [LOCK SUB byte ptr \[R14 + RAX\], 35]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/revizor/analyzer.ml: Array Ctrace Format Hashtbl Htrace List Revizor_uarch

@@ -1,0 +1,1 @@
+lib/revizor/analyzer.mli: Ctrace Format Htrace Revizor_uarch

@@ -1,0 +1,1 @@
+lib/revizor/contract.ml: Format Printf String

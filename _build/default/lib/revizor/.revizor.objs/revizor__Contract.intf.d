@@ -1,0 +1,1 @@
+lib/revizor/contract.mli: Format

@@ -1,0 +1,1 @@
+lib/revizor/coverage.ml: Format Instruction Int64 Layout List Model Opcode Revizor_emu Revizor_isa Semantics Set Stdlib String

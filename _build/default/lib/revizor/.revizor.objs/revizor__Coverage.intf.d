@@ -1,0 +1,1 @@
+lib/revizor/coverage.mli: Format Model

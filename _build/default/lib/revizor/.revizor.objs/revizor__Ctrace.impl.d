@@ -1,0 +1,1 @@
+lib/revizor/ctrace.ml: Format Hashtbl List

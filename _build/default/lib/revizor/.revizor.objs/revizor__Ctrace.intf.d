@@ -1,0 +1,1 @@
+lib/revizor/ctrace.mli: Format

@@ -1,0 +1,1 @@
+lib/revizor/executor.ml: Array Attack Cpu Float Htrace Input Int64 List Prng Revizor_emu Revizor_isa Revizor_uarch Stdlib

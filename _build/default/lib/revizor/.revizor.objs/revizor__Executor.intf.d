@@ -1,0 +1,1 @@
+lib/revizor/executor.mli: Attack Cpu Htrace Input Prng Program Revizor_isa Revizor_uarch

@@ -1,0 +1,1 @@
+lib/revizor/experiments.mli: Contract Gadgets Target Violation

@@ -1,0 +1,1 @@
+lib/revizor/fuzzer.mli: Contract Executor Format Generator Input Revizor_isa Revizor_uarch Uarch_config Violation

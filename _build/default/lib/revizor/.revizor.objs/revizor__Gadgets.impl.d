@@ -1,0 +1,1 @@
+lib/revizor/gadgets.ml: Cond Instruction Layout List Opcode Operand Printf Program Reg Revizor_emu Revizor_isa

@@ -1,0 +1,1 @@
+lib/revizor/gadgets.mli: Program Revizor_isa

@@ -1,0 +1,1 @@
+lib/revizor/generator.ml: Array Catalog Cond Instruction Int64 Layout List Opcode Operand Printf Prng Program Reg Revizor_emu Revizor_isa Width

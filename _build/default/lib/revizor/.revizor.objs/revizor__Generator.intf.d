@@ -1,0 +1,1 @@
+lib/revizor/generator.mli: Catalog Prng Program Revizor_isa

@@ -1,0 +1,1 @@
+lib/revizor/input.ml: Flags Format Int64 Layout List Memory Prng Reg Revizor_emu Revizor_isa State Width

@@ -1,0 +1,1 @@
+lib/revizor/input.mli: Format Prng Revizor_emu State

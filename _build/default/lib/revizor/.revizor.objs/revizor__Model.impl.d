@@ -1,0 +1,1 @@
+lib/revizor/model.ml: Array Contract Ctrace Flags Input Instruction List Memory Opcode Program Revizor_emu Revizor_isa Semantics State

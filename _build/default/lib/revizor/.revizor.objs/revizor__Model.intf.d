@@ -1,0 +1,1 @@
+lib/revizor/model.mli: Contract Ctrace Input Instruction Program Revizor_emu Revizor_isa Semantics

@@ -1,0 +1,1 @@
+lib/revizor/postprocessor.ml: Fuzzer Input Instruction List Program Revizor_isa Violation

@@ -1,0 +1,1 @@
+lib/revizor/postprocessor.mli: Executor Fuzzer Input Program Revizor_isa Violation

@@ -1,0 +1,1 @@
+lib/revizor/prng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/revizor/report.ml: Contract Experiments Gadgets Hashtbl List Option Printf String Target

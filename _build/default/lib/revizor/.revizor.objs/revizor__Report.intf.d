@@ -1,0 +1,1 @@
+lib/revizor/report.mli: Experiments

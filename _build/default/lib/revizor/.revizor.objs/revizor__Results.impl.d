@@ -1,0 +1,1 @@
+lib/revizor/results.ml: Asm_parser Filename Format Fun Input Int64 List Printf Program Revizor_isa String Sys Unix Violation

@@ -1,0 +1,1 @@
+lib/revizor/results.mli: Input Program Revizor_isa Violation

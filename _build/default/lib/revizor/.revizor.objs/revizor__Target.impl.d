@@ -1,0 +1,1 @@
+lib/revizor/target.ml: Attack Catalog Executor Format Fuzzer Generator List Revizor_isa Revizor_uarch String Uarch_config

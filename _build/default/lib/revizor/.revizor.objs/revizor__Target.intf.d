@@ -1,0 +1,1 @@
+lib/revizor/target.mli: Attack Catalog Contract Format Fuzzer Revizor_isa Revizor_uarch Uarch_config

@@ -1,0 +1,1 @@
+lib/revizor/violation.ml: Analyzer Contract Cpu Ctrace Format Htrace Input List Printf Program Revizor_isa Revizor_uarch String

@@ -1,0 +1,1 @@
+lib/revizor/violation.mli: Analyzer Contract Cpu Ctrace Format Htrace Input Program Revizor_isa Revizor_uarch

@@ -1,0 +1,93 @@
+open Revizor_uarch
+
+type input_class = { ctrace : Ctrace.t; members : int list }
+
+type candidate = {
+  cls : input_class;
+  index_a : int;
+  index_b : int;
+  htrace_a : Htrace.t;
+  htrace_b : Htrace.t;
+}
+
+let input_classes ctraces =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iteri
+    (fun idx ct ->
+      let key = Ctrace.hash ct in
+      let bucket = try Hashtbl.find tbl key with Not_found -> [] in
+      (* Hash collisions are resolved by trace equality. *)
+      match List.assoc_opt ct (List.map (fun c -> (c.ctrace, c)) bucket) with
+      | Some _ ->
+          let bucket =
+            List.map
+              (fun c ->
+                if Ctrace.equal c.ctrace ct then
+                  { c with members = idx :: c.members }
+                else c)
+              bucket
+          in
+          Hashtbl.replace tbl key bucket
+      | None ->
+          let cls = { ctrace = ct; members = [ idx ] } in
+          Hashtbl.replace tbl key (cls :: bucket);
+          order := (key, ct) :: !order)
+    ctraces;
+  let classes =
+    List.rev_map
+      (fun (key, ct) ->
+        let bucket = Hashtbl.find tbl key in
+        List.find (fun c -> Ctrace.equal c.ctrace ct) bucket)
+      !order
+  in
+  List.filter_map
+    (fun c ->
+      match c.members with
+      | [] | [ _ ] -> None
+      | ms -> Some { c with members = List.rev ms })
+    classes
+
+let effective_inputs classes =
+  List.fold_left (fun acc c -> acc + List.length c.members) 0 classes
+
+let check_class ?(equivalence = `Subset) ?(excluding = []) cls htraces =
+  let equivalent a b =
+    match equivalence with
+    | `Subset -> Htrace.comparable a b
+    | `Equal -> Htrace.equal a b
+  in
+  let excluded a b = List.mem (a, b) excluding || List.mem (b, a) excluding in
+  let rec pairs = function
+    | [] -> None
+    | a :: rest -> (
+        match
+          List.find_opt
+            (fun b -> (not (excluded a b)) && not (equivalent htraces.(a) htraces.(b)))
+            rest
+        with
+        | Some b -> Some (a, b)
+        | None -> pairs rest)
+  in
+  pairs cls.members
+
+let find_violation ?equivalence ?excluding classes htraces =
+  List.find_map
+    (fun cls ->
+      match check_class ?equivalence ?excluding cls htraces with
+      | Some (a, b) ->
+          Some
+            {
+              cls;
+              index_a = a;
+              index_b = b;
+              htrace_a = htraces.(a);
+              htrace_b = htraces.(b);
+            }
+      | None -> None)
+    classes
+
+let pp_candidate fmt c =
+  Format.fprintf fmt
+    "@[<v>inputs #%d vs #%d@,ctrace: %a@,htrace A: %a@,htrace B: %a@]" c.index_a
+    c.index_b Ctrace.pp c.cls.ctrace Htrace.pp c.htrace_a Htrace.pp c.htrace_b

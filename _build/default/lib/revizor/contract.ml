@@ -1,0 +1,82 @@
+type observation_clause = Mem | Ct | Arch
+type execution_clause = Seq | Cond | Bpas | Cond_bpas
+
+type t = {
+  obs : observation_clause;
+  exec : execution_clause;
+  expose_speculative_stores : bool;
+  speculation_window : int;
+  nesting : bool;
+}
+
+let make ?(expose_speculative_stores = true) ?(speculation_window = 250)
+    ?(nesting = false) obs exec =
+  { obs; exec; expose_speculative_stores; speculation_window; nesting }
+
+let with_nesting t = { t with nesting = true }
+let mem_seq = make Mem Seq
+let mem_cond = make Mem Cond
+let ct_seq = make Ct Seq
+let ct_bpas = make Ct Bpas
+let ct_cond = make Ct Cond
+let ct_cond_bpas = make Ct Cond_bpas
+let arch_seq = make Arch Seq
+let ct_cond_no_spec_store = make ~expose_speculative_stores:false Ct Cond
+let standard_ladder = [ ct_seq; ct_bpas; ct_cond; ct_cond_bpas ]
+let has_cond t = match t.exec with Cond | Cond_bpas -> true | Seq | Bpas -> false
+let has_bpas t = match t.exec with Bpas | Cond_bpas -> true | Seq | Cond -> false
+
+let obs_name = function Mem -> "MEM" | Ct -> "CT" | Arch -> "ARCH"
+
+let exec_name = function
+  | Seq -> "SEQ"
+  | Cond -> "COND"
+  | Bpas -> "BPAS"
+  | Cond_bpas -> "COND-BPAS"
+
+let name t =
+  let base = obs_name t.obs ^ "-" ^ exec_name t.exec in
+  if t.expose_speculative_stores then base else base ^ "(noSpecStore)"
+
+let of_name s =
+  let s = String.uppercase_ascii (String.trim s) in
+  match String.index_opt s '-' with
+  | None -> Error (Printf.sprintf "malformed contract name %S" s)
+  | Some i ->
+      let obs_s = String.sub s 0 i in
+      let exec_s = String.sub s (i + 1) (String.length s - i - 1) in
+      let obs =
+        match obs_s with
+        | "MEM" -> Ok Mem
+        | "CT" -> Ok Ct
+        | "ARCH" -> Ok Arch
+        | other -> Error (Printf.sprintf "unknown observation clause %S" other)
+      in
+      let exec =
+        match exec_s with
+        | "SEQ" -> Ok Seq
+        | "COND" -> Ok Cond
+        | "BPAS" -> Ok Bpas
+        | "COND-BPAS" -> Ok Cond_bpas
+        | other -> Error (Printf.sprintf "unknown execution clause %S" other)
+      in
+      (match (obs, exec) with
+      | Ok o, Ok e -> Ok (make o e)
+      | Error e, _ | _, Error e -> Error e)
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let obs_rank = function Mem -> 0 | Ct -> 1 | Arch -> 2
+
+let exec_includes a b =
+  match (a, b) with
+  | Cond_bpas, _ -> true
+  | _, Seq -> true
+  | Cond, Cond -> true
+  | Bpas, Bpas -> true
+  | (Seq | Cond | Bpas), _ -> false
+
+let permits_at_least a b =
+  obs_rank a.obs >= obs_rank b.obs
+  && exec_includes a.exec b.exec
+  && (a.expose_speculative_stores || not b.expose_speculative_stores)

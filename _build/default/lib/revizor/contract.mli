@@ -1,0 +1,67 @@
+(** Speculation contracts (§2): an observation clause (what each
+    instruction may expose) combined with an execution clause (what
+    speculative control/data flow the CPU may exhibit). *)
+
+type observation_clause =
+  | Mem  (** addresses of loads and stores *)
+  | Ct  (** MEM + control-flow targets (constant-time model) *)
+  | Arch  (** CT + loaded values (architectural observer) *)
+
+type execution_clause =
+  | Seq  (** observations only along the sequential path *)
+  | Cond  (** + mispredicted paths of conditional branches *)
+  | Bpas  (** + store-bypass paths (stores speculatively skipped) *)
+  | Cond_bpas  (** both *)
+
+type t = {
+  obs : observation_clause;
+  exec : execution_clause;
+  expose_speculative_stores : bool;
+      (** [false] encodes the §6.4 variant of CT-COND: speculative-path
+          stores are assumed not to modify the cache, so their addresses
+          are not exposed *)
+  speculation_window : int;  (** instructions per speculative exploration *)
+  nesting : bool;  (** explore nested speculation (§5.4; off by default) *)
+}
+
+val make :
+  ?expose_speculative_stores:bool ->
+  ?speculation_window:int ->
+  ?nesting:bool ->
+  observation_clause ->
+  execution_clause ->
+  t
+(** Defaults: speculative stores exposed, window 250, nesting off. *)
+
+val with_nesting : t -> t
+
+val mem_seq : t
+val mem_cond : t
+val ct_seq : t
+val ct_bpas : t
+val ct_cond : t
+val ct_cond_bpas : t
+val arch_seq : t
+
+val ct_cond_no_spec_store : t
+(** The §6.4 contract: CT-COND minus speculative store exposure. *)
+
+val standard_ladder : t list
+(** The four contracts of Table 3, most restrictive first:
+    CT-SEQ, CT-BPAS, CT-COND, CT-COND-BPAS. *)
+
+val has_cond : t -> bool
+val has_bpas : t -> bool
+
+val name : t -> string
+(** e.g. ["CT-COND-BPAS"], ["CT-COND(noSpecStore)"]. *)
+
+val of_name : string -> (t, string) result
+(** Parse names like ["MEM-SEQ"], ["ct-cond-bpas"], ["ARCH-SEQ"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val permits_at_least : t -> t -> bool
+(** [permits_at_least a b]: [a] exposes everything [b] exposes (i.e. [a]
+    is more liberal than or equal to [b]); used to order the testing
+    ladder. *)

@@ -1,0 +1,18 @@
+type obs = Addr of int64 | Pc of int | Value of int64
+type t = obs list
+
+let equal (a : t) (b : t) = a = b
+let hash (t : t) = Hashtbl.hash t
+let length = List.length
+
+let pp_obs fmt = function
+  | Addr a -> Format.fprintf fmt "A:0x%Lx" a
+  | Pc p -> Format.fprintf fmt "PC:%d" p
+  | Value v -> Format.fprintf fmt "V:0x%Lx" v
+
+let pp fmt t =
+  Format.fprintf fmt "[@[<hov>%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ") pp_obs)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

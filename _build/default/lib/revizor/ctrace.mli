@@ -1,0 +1,16 @@
+(** Contract traces: the sequence of observations a contract permits a
+    program execution to expose (§2.2). *)
+
+type obs =
+  | Addr of int64  (** address of a load or store (MEM clause) *)
+  | Pc of int  (** control-flow target (CT clause) *)
+  | Value of int64  (** loaded value (ARCH clause) *)
+
+type t = obs list
+
+val equal : t -> t -> bool
+val hash : t -> int
+val length : t -> int
+val pp_obs : Format.formatter -> obs -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

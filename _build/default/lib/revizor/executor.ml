@@ -1,0 +1,140 @@
+open Revizor_uarch
+type noise = { flip_probability : float; rng : Prng.t }
+
+type config = {
+  threat : Attack.threat;
+  warmup_rounds : int;
+  measurement_reps : int;
+  outlier_min : int;
+  noise : noise option;
+  max_steps : int;
+  reset_between_inputs : bool;
+}
+
+let default_config ?(threat = Attack.prime_probe) () =
+  {
+    threat;
+    warmup_rounds = 1;
+    measurement_reps = 3;
+    outlier_min = 2;
+    noise = None;
+    max_steps = 20000;
+    reset_between_inputs = false;
+  }
+
+type t = { cpu : Cpu.t; cfg : config }
+
+let create cpu cfg = { cpu; cfg }
+let cpu t = t.cpu
+let config t = t.cfg
+
+type measurement = {
+  htrace : Htrace.t;
+  kinds : Cpu.speculation_kind list;
+  events : (Cpu.speculation_kind * Htrace.t) list;
+}
+
+let apply_noise cfg trace =
+  match cfg.noise with
+  | None -> trace
+  | Some n ->
+      let domain = Attack.trace_domain cfg.threat.Attack.mode in
+      let trace = ref trace in
+      (* Possibly add one spurious observation... *)
+      if Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000. < n.flip_probability
+      then trace := Htrace.add (Prng.int n.rng domain) !trace;
+      (* ... and possibly drop one real one. *)
+      if
+        (not (Htrace.is_empty !trace))
+        && Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000.
+           < n.flip_probability
+      then begin
+        let elems = Htrace.elements !trace in
+        let victim = List.nth elems (Prng.int n.rng (List.length elems)) in
+        trace := Htrace.diff !trace (Htrace.singleton victim)
+      end;
+      !trace
+
+(* One pass over the input sequence; the CPU session is NOT reset, so
+   predictors carry over from input to input (priming). *)
+let run_sequence t flat inputs ~record =
+  List.iteri
+    (fun idx input ->
+      if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
+      let state = Input.to_state input in
+      (* Loading the input into the sandbox moves the input's own data
+         through the memory system: the fill buffers hold it afterwards. *)
+      let last_word =
+        Int64.add Revizor_emu.Layout.sandbox_base
+          (Int64.of_int ((Revizor_emu.Layout.data_pages * Revizor_emu.Layout.page_size) - 8))
+      in
+      Cpu.set_fill_buffer t.cpu
+        (Revizor_emu.Memory.read state.Revizor_emu.State.mem ~addr:last_word
+           Revizor_isa.Width.W64);
+      let trace =
+        Attack.observe t.cpu t.cfg.threat (fun () ->
+            Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat state)
+      in
+      let trace = apply_noise t.cfg trace in
+      let events =
+        (* keep every episode for mechanism labelling; episodes without
+           cache touches carry an empty set and are never selected by the
+           trace-difference attribution *)
+        List.map
+          (fun (e : Cpu.event) ->
+            (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
+          (Cpu.events t.cpu)
+      in
+      record idx trace events)
+    inputs
+
+let measure t flat inputs =
+  let n = List.length inputs in
+  Cpu.reset_session t.cpu;
+  for _ = 1 to t.cfg.warmup_rounds do
+    run_sequence t flat inputs ~record:(fun _ _ _ -> ())
+  done;
+  let counts = Array.make n [] (* (observation, count) assoc *) in
+  let events = Array.make n [] in
+  for _ = 1 to max 1 t.cfg.measurement_reps do
+    run_sequence t flat inputs ~record:(fun idx trace evs ->
+        let bump assoc o =
+          let c = try List.assoc o assoc with Not_found -> 0 in
+          (o, c + 1) :: List.remove_assoc o assoc
+        in
+        counts.(idx) <- List.fold_left bump counts.(idx) (Htrace.elements trace);
+        events.(idx) <- evs @ events.(idx))
+  done;
+  let threshold =
+    if t.cfg.measurement_reps >= 3 then t.cfg.outlier_min else 1
+  in
+  Array.init n (fun idx ->
+      let htrace =
+        List.fold_left
+          (fun acc (o, c) -> if c >= threshold then Htrace.add o acc else acc)
+          Htrace.empty counts.(idx)
+      in
+      let evs = List.sort_uniq Stdlib.compare events.(idx) in
+      let ks = List.sort_uniq Stdlib.compare (List.map fst evs) in
+      { htrace; kinds = ks; events = evs })
+
+let htraces t flat inputs =
+  Array.map (fun m -> m.htrace) (measure t flat inputs)
+
+let replace l idx v = List.mapi (fun i x -> if i = idx then v else x) l
+
+let swap_check t flat inputs a b =
+  let arr = Array.of_list inputs in
+  let input_a = arr.(a) and input_b = arr.(b) in
+  (* i_b measured in i_a's context slot... *)
+  let seq_b_at_a = replace inputs a input_b in
+  (* ... and i_a measured in i_b's context slot. *)
+  let seq_a_at_b = replace inputs b input_a in
+  let base = htraces t flat inputs in
+  let m1 = htraces t flat seq_b_at_a in
+  let m2 = htraces t flat seq_a_at_b in
+  (* Artifact iff swapping contexts makes the traces agree both ways. *)
+  let artifact =
+    Htrace.comparable m1.(a) base.(a) && Htrace.comparable m2.(b) base.(b)
+  in
+  not artifact

@@ -1,0 +1,67 @@
+open Revizor_isa
+open Revizor_uarch
+
+(** The executor (§5.3): collects hardware traces from the CPU under test.
+
+    Responsibilities, mirroring the paper:
+    - run the whole input sequence back-to-back on one CPU session so that
+      each input primes the microarchitectural context of the next
+      ({e priming});
+    - repeat the measurement after warm-up rounds, discard observations
+      seen in too few repetitions (noise outliers) and take the union of
+      the rest;
+    - on demand, re-measure with a pair of inputs swapped in the sequence
+      to tell real leaks from priming artifacts (the swap check);
+    - optionally inject synthetic measurement noise, so the
+      noise-filtering machinery can be exercised deterministically. *)
+
+type noise = {
+  flip_probability : float;  (** chance to add/remove one observation *)
+  rng : Prng.t;
+}
+
+type config = {
+  threat : Attack.threat;
+  warmup_rounds : int;  (** un-recorded passes over the input sequence *)
+  measurement_reps : int;  (** recorded passes (the paper uses 50) *)
+  outlier_min : int;
+      (** keep an observation only if seen in at least this many reps *)
+  noise : noise option;
+  max_steps : int;
+  reset_between_inputs : bool;
+      (** ablation switch: wipe the microarchitectural state before every
+          input, disabling priming (default [false]) *)
+}
+
+val default_config : ?threat:Attack.threat -> unit -> config
+(** Prime+Probe, 1 warm-up round, 3 reps, outlier threshold 2, no noise. *)
+
+type t
+
+val create : Cpu.t -> config -> t
+val cpu : t -> Cpu.t
+val config : t -> config
+
+(** Per-input measurement result. *)
+type measurement = {
+  htrace : Htrace.t;  (** union across reps, outliers removed *)
+  kinds : Cpu.speculation_kind list;
+      (** speculation mechanisms that produced transient cache touches for
+          this input (for post-hoc labelling only) *)
+  events : (Cpu.speculation_kind * Htrace.t) list;
+      (** the same mechanisms with the cache sets they touched, so that a
+          violation can be attributed to the mechanism responsible for the
+          diverging observations *)
+}
+
+val measure : t -> Program.flat -> Input.t list -> measurement array
+(** Reset the CPU session, run warm-ups, then the measured reps. The
+    result is indexed like the input list. *)
+
+val htraces : t -> Program.flat -> Input.t list -> Htrace.t array
+
+val swap_check : t -> Program.flat -> Input.t list -> int -> int -> bool
+(** [swap_check t flat inputs a b] re-measures with inputs [a] and [b]
+    exchanged in the priming sequence. Returns [true] if the trace
+    divergence persists under the swapped contexts (a genuine violation),
+    [false] if it was a priming artifact. *)

@@ -1,0 +1,321 @@
+open Revizor_isa
+open Revizor_uarch
+
+type config = {
+  contract : Contract.t;
+  uarch : Uarch_config.t;
+  executor : Executor.config;
+  gen_cfg : Generator.cfg;
+  n_inputs : int;
+  entropy : int;
+  round_length : int;
+  seed : int64;
+}
+
+let default_config ?(seed = 1L) contract uarch executor =
+  {
+    contract;
+    uarch;
+    executor;
+    gen_cfg = Generator.default_cfg;
+    n_inputs = 50;
+    entropy = 2;
+    round_length = 25;
+    seed;
+  }
+
+type stats = {
+  mutable test_cases : int;
+  mutable inputs_tested : int;
+  mutable effective_inputs : int;
+  mutable ineffective_test_cases : int;
+  mutable faulted_test_cases : int;
+  mutable candidates : int;
+  mutable dismissed_by_swap : int;
+  mutable dismissed_by_nesting : int;
+  mutable rounds : int;
+  mutable growths : int;
+  mutable elapsed_s : float;
+}
+
+let fresh_stats () =
+  {
+    test_cases = 0;
+    inputs_tested = 0;
+    effective_inputs = 0;
+    ineffective_test_cases = 0;
+    faulted_test_cases = 0;
+    candidates = 0;
+    dismissed_by_swap = 0;
+    dismissed_by_nesting = 0;
+    rounds = 0;
+    growths = 0;
+    elapsed_s = 0.;
+  }
+
+type outcome = Violation of Violation.t | No_violation
+type budget = Test_cases of int | Seconds of float
+
+(* The nesting re-check (§5.4): recompute contract traces with nested
+   speculation enabled; the violating pair must still share a class and
+   still diverge. *)
+let nesting_recheck config flat inputs measurements (cand : Analyzer.candidate) =
+  if config.contract.Contract.nesting then true
+  else begin
+    let nested = Contract.with_nesting config.contract in
+    let results = Model.ctraces nested flat inputs in
+    if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
+    else
+      let ctraces =
+        Array.of_list (List.map (fun (r : Model.result) -> r.Model.ctrace) results)
+      in
+      let classes = Analyzer.input_classes ctraces in
+      let htraces =
+        Array.map (fun (m : Executor.measurement) -> m.Executor.htrace) measurements
+      in
+      (* The original pair must still witness a violation under the more
+         permissive (nested) contract. *)
+      List.exists
+        (fun cls ->
+          List.mem cand.Analyzer.index_a cls.Analyzer.members
+          && List.mem cand.Analyzer.index_b cls.Analyzer.members
+          && not
+               (Htrace.comparable htraces.(cand.Analyzer.index_a)
+                  htraces.(cand.Analyzer.index_b)))
+        classes
+  end
+
+type checked = {
+  violation : Violation.t option;
+  effective : int;
+  patterns : Coverage.pattern list;
+  candidate_seen : bool;
+  dismissed_swap : bool;
+  dismissed_nesting : bool;
+}
+
+let check_test_case_full config executor program inputs :
+    (checked, string) result =
+  match Program.flatten program with
+  | Error msg -> Error msg
+  | Ok flat -> (
+      let results = Model.ctraces config.contract flat inputs in
+      if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
+        Error "architectural fault"
+      else
+        let ctraces =
+          Array.of_list
+            (List.map (fun (r : Model.result) -> r.Model.ctrace) results)
+        in
+        let patterns =
+          match results with
+          | first :: _ -> Coverage.patterns_of_stream first.Model.stream
+          | [] -> []
+        in
+        let classes = Analyzer.input_classes ctraces in
+        let effective = Analyzer.effective_inputs classes in
+        let no_violation ?(candidate_seen = false) ?(dismissed_swap = false)
+            ?(dismissed_nesting = false) () =
+          Ok
+            {
+              violation = None;
+              effective;
+              patterns;
+              candidate_seen;
+              dismissed_swap;
+              dismissed_nesting;
+            }
+        in
+        if classes = [] then no_violation ()
+        else
+          let measurements = Executor.measure executor flat inputs in
+          let htraces =
+            Array.map
+              (fun (m : Executor.measurement) -> m.Executor.htrace)
+              measurements
+          in
+          (* A dismissed pair does not clear the test case: another pair of
+             the same measurement set may witness a genuine (data-caused)
+             divergence, so retry a bounded number of candidates. *)
+          let rec hunt excluding attempts ~swapped ~nested =
+            if attempts <= 0 then
+              no_violation ~candidate_seen:true ~dismissed_swap:swapped
+                ~dismissed_nesting:nested ()
+            else
+              match Analyzer.find_violation ~excluding classes htraces with
+              | None ->
+                  no_violation ~candidate_seen:(excluding <> [])
+                    ~dismissed_swap:swapped ~dismissed_nesting:nested ()
+              | Some cand ->
+                  let pair = (cand.Analyzer.index_a, cand.Analyzer.index_b) in
+                  if
+                    not
+                      (Executor.swap_check executor flat inputs
+                         cand.Analyzer.index_a cand.Analyzer.index_b)
+                  then
+                    hunt (pair :: excluding) (attempts - 1) ~swapped:true ~nested
+                  else if
+                    not (nesting_recheck config flat inputs measurements cand)
+                  then
+                    hunt (pair :: excluding) (attempts - 1) ~swapped ~nested:true
+                  else confirm cand
+          and confirm cand =
+                (* Attribute the violation to the mechanisms whose
+                   transient touches appear in the trace difference. *)
+                let diff_sets =
+                  let a = htraces.(cand.Analyzer.index_a)
+                  and b = htraces.(cand.Analyzer.index_b) in
+                  let d = Htrace.union (Htrace.diff a b) (Htrace.diff b a) in
+                  match config.executor.Executor.threat.Attack.mode with
+                  | Attack.Prime_probe -> d
+                  | Attack.Flush_reload | Attack.Evict_reload ->
+                      (* observations are lines; events record sets *)
+                      Htrace.of_list
+                        (List.map (fun l -> l mod 64) (Htrace.elements d))
+                  | Attack.Port_contention ->
+                      (* port observations do not map to cache sets: fall
+                         back to the unfiltered mechanism list *)
+                      Htrace.empty
+                in
+                let relevant idx =
+                  List.filter_map
+                    (fun (k, sets) ->
+                      if Htrace.is_empty (Htrace.inter sets diff_sets) then None
+                      else Some k)
+                    measurements.(idx).Executor.events
+                in
+                let mechanisms =
+                  match
+                    List.sort_uniq Stdlib.compare
+                      (relevant cand.Analyzer.index_a
+                      @ relevant cand.Analyzer.index_b)
+                  with
+                  | [] ->
+                      List.sort_uniq Stdlib.compare
+                        (measurements.(cand.Analyzer.index_a).Executor.kinds
+                        @ measurements.(cand.Analyzer.index_b).Executor.kinds)
+                  | ms -> ms
+                in
+                let violation =
+                  Violation.make ~contract:config.contract
+                    ~mds_patch:config.uarch.Uarch_config.mds_patch
+                    ~program ~inputs cand ~mechanisms
+                in
+                Ok
+                  {
+                    violation = Some violation;
+                    effective;
+                    patterns;
+                    candidate_seen = true;
+                    dismissed_swap = false;
+                    dismissed_nesting = false;
+                  }
+          in
+          hunt [] 5 ~swapped:false ~nested:false)
+
+let check_test_case config executor program inputs =
+  Result.map (fun c -> c.violation)
+    (check_test_case_full config executor program inputs)
+
+let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
+  let prng = Prng.create ~seed:config.seed in
+  let cpu = Cpu.create config.uarch in
+  let executor = Executor.create cpu config.executor in
+  let stats = fresh_stats () in
+  let coverage = Coverage.create () in
+  let started = Unix.gettimeofday () in
+  let gen_cfg = ref config.gen_cfg in
+  let n_inputs = ref config.n_inputs in
+  let combos_at_round_start = ref 0 in
+  let in_round = ref 0 in
+  let exhausted () =
+    should_stop ()
+    ||
+    match budget with
+    | Test_cases n -> stats.test_cases >= n
+    | Seconds s -> Unix.gettimeofday () -. started >= s
+  in
+  let result = ref No_violation in
+  while !result = No_violation && not (exhausted ()) do
+    stats.test_cases <- stats.test_cases + 1;
+    in_round := !in_round + 1;
+    let program = Generator.generate prng !gen_cfg in
+    let inputs =
+      Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
+    in
+    stats.inputs_tested <- stats.inputs_tested + List.length inputs;
+    (match check_test_case_full config executor program inputs with
+    | Error _ -> stats.faulted_test_cases <- stats.faulted_test_cases + 1
+    | Ok checked ->
+        stats.effective_inputs <- stats.effective_inputs + checked.effective;
+        if checked.effective = 0 then
+          stats.ineffective_test_cases <- stats.ineffective_test_cases + 1;
+        if checked.candidate_seen then stats.candidates <- stats.candidates + 1;
+        if checked.dismissed_swap then
+          stats.dismissed_by_swap <- stats.dismissed_by_swap + 1;
+        if checked.dismissed_nesting then
+          stats.dismissed_by_nesting <- stats.dismissed_by_nesting + 1;
+        Coverage.register coverage ~patterns:checked.patterns
+          ~effective:(checked.effective > 0);
+        (match checked.violation with
+        | Some v -> result := Violation v
+        | None -> ()));
+    if !in_round >= config.round_length && !result = No_violation then begin
+      stats.rounds <- stats.rounds + 1;
+      in_round := 0;
+      if
+        Coverage.should_grow coverage
+          ~previous_combinations:!combos_at_round_start
+          ~round_length:config.round_length
+      then begin
+        stats.growths <- stats.growths + 1;
+        gen_cfg := Generator.grow !gen_cfg;
+        n_inputs := min 400 (!n_inputs + (!n_inputs / 2))
+      end;
+      combos_at_round_start := Coverage.total_combinations coverage
+    end;
+    match on_progress with Some f -> f stats | None -> ()
+  done;
+  stats.elapsed_s <- Unix.gettimeofday () -. started;
+  (!result, stats)
+
+let fuzz_parallel ?(domains = 4) config ~budget =
+  let domains = max 1 domains in
+  let found = Atomic.make false in
+  let split_budget =
+    match budget with
+    | Test_cases n -> Test_cases (max 1 ((n + domains - 1) / domains))
+    | Seconds _ -> budget
+  in
+  let campaign i =
+    let cfg =
+      { config with seed = Int64.add config.seed (Int64.of_int (i * 6271)) }
+    in
+    let outcome, stats =
+      fuzz ~should_stop:(fun () -> Atomic.get found) cfg ~budget:split_budget
+    in
+    (match outcome with Violation _ -> Atomic.set found true | No_violation -> ());
+    (outcome, stats)
+  in
+  let workers =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> campaign (i + 1)))
+  in
+  let first = campaign 0 in
+  let results = first :: List.map Domain.join workers in
+  let outcome =
+    match
+      List.find_opt (function Violation _, _ -> true | No_violation, _ -> false) results
+    with
+    | Some (o, _) -> o
+    | None -> No_violation
+  in
+  (outcome, List.map snd results)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>test cases: %d@,inputs: %d (effective: %d)@,ineffective test \
+     cases: %d@,faulted: %d@,candidates: %d (swap-dismissed: %d, \
+     nesting-dismissed: %d)@,rounds: %d (growths: %d)@,elapsed: %.2fs@]"
+    s.test_cases s.inputs_tested s.effective_inputs s.ineffective_test_cases
+    s.faulted_test_cases s.candidates s.dismissed_by_swap
+    s.dismissed_by_nesting s.rounds s.growths s.elapsed_s

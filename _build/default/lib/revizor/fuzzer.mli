@@ -1,0 +1,71 @@
+open Revizor_uarch
+
+(** The end-to-end MRT loop (Fig. 2): generate → model → execute →
+    analyze, round by round, with diversity-guided growth of the
+    generator configuration (§5.6) and the two false-positive filters —
+    the priming swap check (§5.3) and the nesting re-check (§5.4). *)
+
+type config = {
+  contract : Contract.t;
+  uarch : Uarch_config.t;
+  executor : Executor.config;
+  gen_cfg : Generator.cfg;
+  n_inputs : int;  (** inputs per test case (grows with the rounds) *)
+  entropy : int;  (** PRNG entropy bits for input generation *)
+  round_length : int;  (** test cases per round *)
+  seed : int64;
+}
+
+val default_config :
+  ?seed:int64 -> Contract.t -> Uarch_config.t -> Executor.config -> config
+(** Paper's starting point: 8 instructions / 2 blocks / 2 memory accesses,
+    2 entropy bits, 50 inputs, rounds of 25 test cases. *)
+
+type stats = {
+  mutable test_cases : int;
+  mutable inputs_tested : int;
+  mutable effective_inputs : int;
+  mutable ineffective_test_cases : int;  (** no multi-input class *)
+  mutable faulted_test_cases : int;
+  mutable candidates : int;  (** trace divergences before filtering *)
+  mutable dismissed_by_swap : int;
+  mutable dismissed_by_nesting : int;
+  mutable rounds : int;
+  mutable growths : int;  (** generator reconfigurations *)
+  mutable elapsed_s : float;
+}
+
+type outcome = Violation of Violation.t | No_violation
+
+type budget = Test_cases of int | Seconds of float
+
+val fuzz :
+  ?on_progress:(stats -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  config ->
+  budget:budget ->
+  outcome * stats
+(** Run until a (filtered) violation is found or the budget is exhausted.
+    Deterministic for a given [config.seed] under [Test_cases] budgets.
+    [should_stop] is polled between test cases (used for cooperative
+    cancellation by {!fuzz_parallel}). *)
+
+val fuzz_parallel :
+  ?domains:int -> config -> budget:budget -> outcome * stats list
+(** §7: "tests in different adversarial scenarios can easily run in
+    parallel". Runs independent fuzzing campaigns (seeds
+    [config.seed + i]) on OCaml 5 domains, splitting the budget; the
+    first domain to find a violation cancels the others. Returns the
+    winning violation (if any) and the per-domain statistics. *)
+
+val check_test_case :
+  config ->
+  Executor.t ->
+  Revizor_isa.Program.t ->
+  Input.t list ->
+  (Violation.t option, string) result
+(** The per-test-case pipeline on its own (used by the postprocessor, the
+    gadget experiments of Table 5, and the tests). [Error] means the test
+    case faulted architecturally. *)
+
+val pp_stats : Format.formatter -> stats -> unit

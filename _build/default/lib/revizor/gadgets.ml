@@ -1,0 +1,420 @@
+open Revizor_isa
+open Revizor_emu
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  needs_assist : bool;
+  reference : string;
+}
+
+(* --- small assembly DSL ------------------------------------------- *)
+
+let r ?w x = Operand.reg ?w x
+let i n = Operand.imm n
+let mem_d ?w disp = Operand.mem ?w ~base:Reg.sandbox_base ~disp ()
+let mem_ri ?w ?(disp = 0) x = Operand.sandbox ?w ~disp x
+let mov = Instruction.mov
+let binop = Instruction.binop
+let mask_line x = binop Opcode.And (r x) (Operand.imm64 Layout.line_mask_one_page)
+let page1 = Layout.page_size
+
+(* Flag source with a slow (cache-missing) dependency: gives the branch a
+   wide resolution window, like the LOCK SUB of Fig. 4. Sets the branch
+   direction from the first sandbox word. *)
+let slow_flags scratch =
+  [ mov (r scratch) (mem_d 0); binop Opcode.Cmp (r scratch) (i 64) ]
+
+(* An extra ALU step on the flag chain, when the transient code needs a
+   couple more cycles before the squash. *)
+let slower_flags scratch =
+  [
+    mov (r scratch) (mem_d 0);
+    binop Opcode.Add (r scratch) (i 1);
+    binop Opcode.Cmp (r scratch) (i 65);
+  ]
+
+(* A division whose latency depends on the value of [src]: the dividend is
+   scaled into the high bits so that the operand-dependent part of the
+   divider latency dominates. Leaves a zero-valued token in [token] whose
+   readiness equals the division's completion time. *)
+let latency_token ~src ~token =
+  [
+    mov (r Reg.RAX) (r src);
+    binop Opcode.Shl (r Reg.RAX) (i 48);
+    mov (r Reg.RDX) (i 0);
+    mov (r token) (i 7);
+    Instruction.div (r token);
+    mov (r token) (r Reg.RAX);
+    binop Opcode.And (r token) (i 0);
+  ]
+
+(* A pure ALU delay chain: [token] becomes zero-valued and ready after
+   roughly [n] cycles. *)
+let delay_token ~token n =
+  mov (r token) (i 1)
+  :: List.init n (fun _ -> binop Opcode.Add (r token) (r token))
+  @ [ binop Opcode.And (r token) (i 0) ]
+
+(* Flags from a pure ALU chain on an input register: the branch direction
+   still depends on the input, but the resolution time is independent of
+   the cache state (needed by channels that do not prime the cache). *)
+let alu_flag_chain reg n =
+  List.init n (fun _ -> binop Opcode.Add (r reg) (r reg))
+  @ [ binop Opcode.Cmp (r reg) (i 64) ]
+
+let prog blocks = Program.make blocks
+let bb = Program.block
+
+let check name program =
+  match Program.validate program with
+  | Ok () -> program
+  | Error msg -> invalid_arg (Printf.sprintf "gadget %s: %s" name msg)
+
+let make name ~description ?(needs_assist = false) ~reference blocks =
+  { name; description; program = check name (prog blocks); needs_assist; reference }
+
+(* --- Spectre V1 family -------------------------------------------- *)
+
+let spectre_v1 =
+  make "spectre-v1" ~reference:"[23]"
+    ~description:
+      "Bounds-check bypass: a mispredicted branch transiently executes an \
+       input-addressed load (Fig. 1)."
+    [
+      bb "main"
+        ([ mask_line Reg.RAX ] @ slow_flags Reg.RSI
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak" [ mov (r Reg.RCX) (mem_ri Reg.RAX) ];
+      bb "exit" [];
+    ]
+
+let spectre_v1_taken =
+  make "spectre-v1-taken" ~reference:"[23]"
+    ~description:
+      "V1 with the leaking load on the TAKEN side of the branch: a cold \
+       (statically not-taken) predictor never speculates into it, so the \
+       leak is only visible when earlier inputs prime the PHT."
+    [
+      bb "main" (slow_flags Reg.RSI @ [ Instruction.jcc Cond.A "leak" ]);
+      bb "cont" [ Instruction.jmp "exit" ];
+      bb "leak" [ mask_line Reg.RAX; mov (r Reg.RCX) (mem_ri Reg.RAX) ];
+      bb "exit" [];
+    ]
+
+let spectre_v1_1 =
+  make "spectre-v1.1" ~reference:"[22]"
+    ~description:
+      "Speculative buffer overflow: the transient path stores to an \
+       input-controlled address, exposed by a same-address load."
+    [
+      bb "main"
+        ([ mask_line Reg.RAX ] @ slow_flags Reg.RSI
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak"
+        [ mov (mem_ri Reg.RAX) (i 42); mov (r Reg.RCX) (mem_ri Reg.RAX) ];
+      bb "exit" [];
+    ]
+
+let spectre_v1_masked =
+  make "spectre-v1-masked" ~reference:"[23]"
+    ~description:
+      "V1 through an extra masking AND: leaks only two address bits."
+    [
+      bb "main"
+        ([ binop Opcode.And (r Reg.RAX) (Operand.imm64 0b0011000000L) ]
+        @ slow_flags Reg.RSI
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak" [ mov (r Reg.RCX) (mem_ri Reg.RAX) ];
+      bb "exit" [];
+    ]
+
+(* --- Spectre V4 ---------------------------------------------------- *)
+
+let spectre_v4 =
+  make "spectre-v4" ~reference:"[14]"
+    ~description:
+      "Speculative store bypass: a sanitizing store with a slow address is \
+       bypassed by a younger load, which transiently transmits the stale \
+       secret."
+    [
+      bb "main"
+        [
+          mask_line Reg.RAX;
+          mov (r Reg.RBX) (mem_ri Reg.RAX) (* cache miss: slow chain *);
+          binop Opcode.And (r Reg.RBX) (i 0);
+          mov (mem_ri ~disp:128 Reg.RBX) (i 0) (* sanitize mem[128], late *);
+          mov (r Reg.RCX) (mem_d 128) (* fast load: bypasses the store *);
+          mask_line Reg.RCX;
+          mov (r Reg.RDX) (mem_ri Reg.RCX) (* transmit stale value *);
+        ];
+    ]
+
+(* --- §6.3 latency-race variants ------------------------------------ *)
+
+let spectre_v1_var =
+  make "spectre-v1-var" ~reference:"§6.3"
+    ~description:
+      "Fig. 5: two division-gated transient loads race the branch squash; \
+       the cache state exposes the operand-dependent division latencies \
+       even under CT-COND."
+    [
+      bb "main"
+        (latency_token ~src:Reg.RAX ~token:Reg.RSI
+        @ latency_token ~src:Reg.RCX ~token:Reg.RDI
+        @ slow_flags Reg.RBX
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak"
+        [
+          mov (r Reg.RBX) (mem_ri ~disp:(5 * 64) Reg.RSI);
+          mov (r Reg.RBX) (mem_ri ~disp:(21 * 64) Reg.RDI);
+        ];
+      bb "exit" [];
+    ]
+
+let spectre_v4_var =
+  make "spectre-v4-var" ~reference:"§6.3"
+    ~description:
+      "Store-bypass latency race: whether each of two sanitizing stores is \
+       bypassed depends on a division latency; violates CT-BPAS."
+    [
+      bb "main"
+        (latency_token ~src:Reg.RAX ~token:Reg.RSI
+        @ latency_token ~src:Reg.RCX ~token:Reg.RDI
+        @ [
+            mov (mem_ri ~disp:192 Reg.RSI) (i 1) (* store 1, div-delayed *);
+            mov (mem_ri ~disp:256 Reg.RDI) (i 1) (* store 2, div-delayed *);
+          ]
+        @ delay_token ~token:Reg.R8 22
+        @ [
+            mov (r Reg.RBX) (mem_ri ~disp:192 Reg.R8) (* bypass iff div1 slow *);
+            mask_line Reg.RBX;
+            mov (r Reg.RDX) (mem_ri ~disp:2048 Reg.RBX);
+            mov (r Reg.R10) (mem_ri ~disp:256 Reg.R8) (* bypass iff div2 slow *);
+            mask_line Reg.R10;
+            mov (r Reg.RDX) (mem_ri ~disp:2560 Reg.R10);
+          ]);
+    ]
+
+(* --- ret2spec ------------------------------------------------------- *)
+
+let ret2spec =
+  make "ret2spec" ~reference:"[24,27]"
+    ~description:
+      "The callee redirects its return through memory; the RSB still \
+       predicts the call site, transiently executing the skipped load."
+    [
+      bb "main" [ Instruction.call "f" ];
+      bb "leak" [ mask_line Reg.RAX; mov (r Reg.RBX) (mem_ri Reg.RAX) ];
+      bb "rest" [ Instruction.jmp "exit" ];
+      bb "f"
+        [
+          binop Opcode.Add
+            (Operand.mem ~base:Reg.stack_pointer ())
+            (i 2) (* skip the two leak instructions *);
+          Instruction.ret;
+        ];
+      bb "exit" [];
+    ]
+
+(* --- Spectre V2 (extension: indirect jumps / BTB) -------------------- *)
+
+(* The indirect-jump target alternates between the leak block and the exit
+   depending on an input-dependent flag; the BTB predicts the previous
+   input's target, so inputs that architecturally skip the leak still
+   execute it transiently. Concrete instruction indices are resolved by a
+   first flattening pass. *)
+let spectre_v2 =
+  let build ~leak_idx ~exit_idx =
+    prog
+      [
+        bb "main"
+          ([
+             mov (r Reg.RSI) (i leak_idx);
+             mov (r Reg.RDI) (i exit_idx);
+           ]
+          @ slow_flags Reg.RDX
+          @ [
+              Instruction.cmov Cond.A (r Reg.RSI) (r Reg.RDI);
+              Instruction.jmp_ind Reg.RSI;
+            ]);
+        bb "leak" [ mask_line Reg.RAX; mov (r Reg.RBX) (mem_ri Reg.RAX) ];
+        bb "exit" [];
+      ]
+  in
+  (* two-pass: flatten a skeleton to learn the label indices, then rebuild
+     with the real immediate targets *)
+  let skeleton = build ~leak_idx:0 ~exit_idx:0 in
+  let flat = Program.flatten_exn skeleton in
+  let idx label = List.assoc label flat.Program.block_starts in
+  let program = check "spectre-v2" (build ~leak_idx:(idx "leak") ~exit_idx:(idx "exit")) in
+  {
+    name = "spectre-v2";
+    description =
+      "Branch target injection (extension): the BTB predicts a previously \
+       trained indirect-jump target, transiently executing the leak block \
+       for inputs that architecturally skip it.";
+    program;
+    needs_assist = false;
+    reference = "[23] (V2)";
+  }
+
+(* A V1 whose transient path makes NO memory access at all: a
+   division-gated multiply chain. How many transient multiplies beat the
+   squash depends on the division operand, so the per-port µop counts
+   leak the operand — invisible to every cache channel, visible to the
+   port-contention channel. The architectural multiplies after the branch
+   give both class members a nonzero port-1 baseline, making the
+   bucketized counts incomparable rather than subset-related. *)
+let spectre_v1_ports =
+  let transient_muls =
+    List.init 8 (fun _ -> binop Opcode.Imul (r Reg.RBX) (r Reg.RBX))
+  in
+  make "spectre-v1-ports" ~reference:"§7 (ext)"
+    ~description:
+      "V1 leaking only through execution-port pressure: the mispredicted \
+       path contains a division-gated multiply chain and no memory access; \
+       detectable with the port-contention channel, invisible to cache \
+       attacks."
+    [
+      bb "main"
+        ((* copy the branch input out of RDX before the division clobbers
+            it with the remainder *)
+         mov (r Reg.R9) (r Reg.RBX)
+         :: latency_token ~src:Reg.RAX ~token:Reg.RSI
+        @ alu_flag_chain Reg.R9 28
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak"
+        (binop Opcode.Add (r Reg.RBX) (r Reg.RSI) (* gate on the division *)
+         :: transient_muls);
+      bb "exit"
+        [
+          binop Opcode.Imul (r Reg.RCX) (r Reg.RCX) (* arch port-1 baseline *);
+          binop Opcode.Imul (r Reg.RCX) (r Reg.RCX);
+        ];
+    ]
+
+(* --- MDS / LVI ------------------------------------------------------ *)
+
+let mds_lfb =
+  make "mds-lfb" ~reference:"[7]" ~needs_assist:true
+    ~description:
+      "RIDL/LFB-style: a page-1 load places the input's data in the fill \
+       buffer; an assisted page-0 load transiently forwards it."
+    [
+      bb "main"
+        [
+          mov (r Reg.RBX) (mem_d page1) (* fill buffer := own data *);
+          mov (r Reg.RCX) (mem_d 64) (* assisted: transient = fill buffer *);
+          mask_line Reg.RCX;
+          mov (r Reg.RDX) (mem_ri Reg.RCX) (* transmit *);
+        ];
+    ]
+
+let mds_sb =
+  make "mds-sb" ~reference:"[40,44]" ~needs_assist:true
+    ~description:
+      "Fallout/store-buffer-style: the leaked fill-buffer data comes from \
+       the program's own store."
+    [
+      bb "main"
+        [
+          mov (mem_d page1) (r Reg.RBX) (* fill buffer := RBX *);
+          mov (r Reg.RCX) (mem_d 64) (* assisted load *);
+          mask_line Reg.RCX;
+          mov (r Reg.RDX) (mem_ri Reg.RCX);
+        ];
+    ]
+
+let lvi_null =
+  make "lvi-null" ~reference:"[43]" ~needs_assist:true
+    ~description:
+      "An assisted store breaks store-to-load forwarding: the younger \
+       same-address load transiently reads the stale memory value."
+    [
+      bb "main"
+        [
+          mov (mem_d 64) (i 42) (* assisted store: resolves late *);
+          mov (r Reg.RCX) (mem_d 64) (* forwarding fails: stale data *);
+          mask_line Reg.RCX;
+          mov (r Reg.RDX) (mem_ri Reg.RCX);
+        ];
+    ]
+
+(* --- §6.6 contract sensitivity (STT) -------------------------------- *)
+
+let stt_nonspeculative =
+  make "stt-nonspeculative" ~reference:"Fig. 6a"
+    ~description:
+      "A NON-speculatively loaded value leaks on a transient path: CT-SEQ \
+       violation, but ARCH-SEQ compliant (STT does not protect it)."
+    [
+      bb "main"
+        ([
+           mask_line Reg.RAX;
+           mov (r Reg.RBX) (mem_ri Reg.RAX) (* architectural load *);
+           mask_line Reg.RBX;
+         ]
+        @ slower_flags Reg.RSI
+        @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak" [ mov (r Reg.RCX) (mem_ri Reg.RBX) ];
+      bb "exit" [];
+    ]
+
+let stt_speculative =
+  make "stt-speculative" ~reference:"Fig. 6b"
+    ~description:
+      "A speculatively loaded value leaks: violates both CT-SEQ and \
+       ARCH-SEQ (the classic V1 gadget STT protects)."
+    [
+      bb "main" (slow_flags Reg.RSI @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak"
+        [
+          mask_line Reg.RAX;
+          mov (r Reg.RBX) (mem_ri Reg.RAX);
+          mask_line Reg.RBX;
+          mov (r Reg.RCX) (mem_ri Reg.RBX);
+        ];
+      bb "exit" [];
+    ]
+
+(* --- §6.4 speculative store eviction -------------------------------- *)
+
+let spec_store_eviction =
+  make "spec-store-eviction" ~reference:"§6.4"
+    ~description:
+      "A transient store on a mispredicted path: leaves a cache trace only \
+       on CPUs where stores modify the cache before retiring."
+    [
+      bb "main" (slow_flags Reg.RSI @ [ Instruction.jcc Cond.A "exit" ]);
+      bb "leak" [ mask_line Reg.RAX; mov (mem_ri ~disp:2048 Reg.RAX) (i 7) ];
+      bb "exit" [];
+    ]
+
+let table5 =
+  [
+    spectre_v1;
+    spectre_v1_1;
+    spectre_v1_masked;
+    spectre_v4;
+    ret2spec;
+    mds_sb;
+    mds_lfb;
+  ]
+
+let all =
+  table5
+  @ [
+      spectre_v1_taken;
+      spectre_v2;
+      spectre_v1_ports;
+      spectre_v1_var;
+      spectre_v4_var;
+      lvi_null;
+      stt_nonspeculative;
+      stt_speculative;
+      spec_store_eviction;
+    ]
+
+let find name = List.find_opt (fun g -> g.name = name) all

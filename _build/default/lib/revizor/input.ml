@@ -1,0 +1,46 @@
+open Revizor_isa
+open Revizor_emu
+
+type t = { seed : int64; entropy : int }
+
+let generate prng ~entropy = { seed = Prng.next prng; entropy }
+
+let generate_many prng ~entropy ~n =
+  List.init n (fun _ -> generate prng ~entropy)
+
+(* Values land in bits 6..11: the cache-line-index bits selected by the
+   sandbox masking instrumentation. *)
+let value_of sub entropy = Int64.shift_left (Prng.bits sub entropy) 6
+
+let flags_of sub entropy =
+  let raw = Prng.bits sub (min entropy 6) in
+  let b n = Int64.logand (Int64.shift_right_logical raw n) 1L = 1L in
+  {
+    Flags.cf = b 0;
+    zf = b 1;
+    sf = b 2;
+    o_f = b 3;
+    pf = b 4;
+    af = b 5;
+  }
+
+let apply t (state : State.t) =
+  let sub = Prng.create ~seed:t.seed in
+  List.iter
+    (fun r -> State.set_reg state r Width.W64 (value_of sub t.entropy))
+    Reg.gen_pool;
+  state.State.flags <- flags_of sub t.entropy;
+  let words = Layout.data_pages * Layout.page_size / 8 in
+  for w = 0 to words - 1 do
+    Memory.write state.State.mem
+      ~addr:(Int64.add Layout.sandbox_base (Int64.of_int (w * 8)))
+      Width.W64 (value_of sub t.entropy)
+  done
+
+let to_state t =
+  let state = State.create () in
+  apply t state;
+  state
+
+let equal (a : t) (b : t) = a = b
+let pp fmt t = Format.fprintf fmt "input(seed=0x%Lx, entropy=%d)" t.seed t.entropy

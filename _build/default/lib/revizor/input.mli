@@ -1,0 +1,25 @@
+open Revizor_emu
+
+(** Test-case inputs: the architectural state a measurement starts from —
+    registers, FLAGS and the memory sandbox (§5.2).
+
+    An input is represented by its PRNG seed plus the entropy mask width;
+    the concrete state is derived deterministically. Low entropy
+    (2–4 bits) is the paper's lever for input effectiveness (CH2): fewer
+    distinct values make colliding contract traces likelier. Derived
+    values are shifted into the cache-line-index bits so that masked
+    addressing maps different values to different cache lines. *)
+
+type t = { seed : int64; entropy : int }
+
+val generate : Prng.t -> entropy:int -> t
+val generate_many : Prng.t -> entropy:int -> n:int -> t list
+
+val apply : t -> State.t -> unit
+(** Overwrite registers (generator pool), FLAGS and sandbox memory. *)
+
+val to_state : t -> State.t
+(** Fresh architectural state initialized from the input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+open Revizor_isa
+open Revizor_emu
+
+type step_record = {
+  s_pc : int;
+  s_inst : Instruction.t;
+  s_accesses : Semantics.access list;
+}
+
+type result = { ctrace : Ctrace.t; stream : step_record list; faulted : bool }
+
+let max_nesting_depth = 4
+
+let run ?(max_steps = 4096) (contract : Contract.t) flat input =
+  let state = Input.to_state input in
+  let code_len = Array.length flat.Program.code in
+  let obs = ref [] in
+  let stream = ref [] in
+  let faulted = ref false in
+  let emit o = obs := o :: !obs in
+  let record_access ~speculative (a : Semantics.access) =
+    match a.Semantics.kind with
+    | `Load ->
+        emit (Ctrace.Addr a.Semantics.addr);
+        if contract.Contract.obs = Contract.Arch then
+          emit (Ctrace.Value a.Semantics.value)
+    | `Store ->
+        if (not speculative) || contract.Contract.expose_speculative_stores then
+          emit (Ctrace.Addr a.Semantics.addr)
+  in
+  let record_control next =
+    match contract.Contract.obs with
+    | Contract.Ct | Contract.Arch -> emit (Ctrace.Pc next)
+    | Contract.Mem -> ()
+  in
+  (* [walk] executes up to [budget] instructions from the current state.
+     [depth] counts nested explorations: 0 is the architectural path. *)
+  let rec walk ~depth budget =
+    let speculative = depth > 0 in
+    let budget = ref budget in
+    let stop = ref false in
+    while (not !stop) && !budget > 0 && state.State.pc < code_len do
+      decr budget;
+      let pc = state.State.pc in
+      let i = flat.Program.code.(pc) in
+      if Opcode.is_serializing i.Instruction.opcode then
+        if speculative then stop := true
+        else state.State.pc <- pc + 1
+      else begin
+        let may_nest =
+          depth = 0 || (contract.Contract.nesting && depth < max_nesting_depth)
+        in
+        (* Execution clause: conditional-branch misprediction. *)
+        (match i.Instruction.opcode with
+        | Opcode.Jcc c when Contract.has_cond contract && may_nest ->
+            let actual = Flags.eval_cond state.State.flags c in
+            let inverted =
+              if actual then pc + 1 else flat.Program.target.(pc)
+            in
+            let snap = State.snapshot state in
+            state.State.pc <- inverted;
+            record_control inverted;
+            walk ~depth:(depth + 1)
+              (min !budget contract.Contract.speculation_window);
+            State.restore state snap
+        | _ -> ());
+        (* Execution clause: store bypass (the store is skipped and
+           execution continues speculatively). *)
+        (if
+           Contract.has_bpas contract && may_nest
+           && Instruction.stores i
+           && Instruction.mem_operand i <> None
+         then
+           match Instruction.mem_operand i with
+           | Some (m, w) ->
+               let addr = Semantics.mem_addr state m in
+               let snap = State.snapshot state in
+               (try
+                  let old = Memory.read state.State.mem ~addr w in
+                  let outcome = Semantics.step flat state in
+                  (* Undo the write: the store is bypassed. *)
+                  Memory.write state.State.mem ~addr w old;
+                  List.iter
+                    (fun (a : Semantics.access) ->
+                      if a.Semantics.kind = `Load then
+                        record_access ~speculative:true a)
+                    outcome.Semantics.accesses;
+                  walk ~depth:(depth + 1)
+                    (min !budget contract.Contract.speculation_window)
+                with Semantics.Division_fault | Memory.Fault _ -> ());
+               State.restore state snap
+           | None -> ());
+        (* Architectural (or in-exploration) step. *)
+        match Semantics.step flat state with
+        | outcome ->
+            List.iter (record_access ~speculative) outcome.Semantics.accesses;
+            if Opcode.is_control_flow i.Instruction.opcode then
+              record_control outcome.Semantics.next;
+            if not speculative then
+              stream :=
+                { s_pc = pc; s_inst = i; s_accesses = outcome.Semantics.accesses }
+                :: !stream
+        | exception (Semantics.Division_fault | Memory.Fault _) ->
+            if speculative then stop := true
+            else begin
+              faulted := true;
+              stop := true
+            end
+      end
+    done
+  in
+  walk ~depth:0 max_steps;
+  { ctrace = List.rev !obs; stream = List.rev !stream; faulted = !faulted }
+
+let ctraces ?max_steps contract flat inputs =
+  List.map (run ?max_steps contract flat) inputs

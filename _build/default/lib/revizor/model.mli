@@ -1,0 +1,36 @@
+open Revizor_isa
+open Revizor_emu
+
+(** The executable contract model (§5.4).
+
+    Executes a test case on the architectural emulator, instrumented with
+    a SpecFuzz-style checkpoint stack: instructions with a non-empty
+    execution clause trigger an exploration of the mis-speculated path
+    (bounded by the contract's speculation window, stopped by serializing
+    instructions), after which the state rolls back and normal execution
+    resumes. Observations are recorded according to the observation
+    clause, on both normal and explored paths. *)
+
+type step_record = {
+  s_pc : int;
+  s_inst : Instruction.t;
+  s_accesses : Semantics.access list;
+}
+(** One architectural step, kept for the pattern-coverage analysis
+    (§5.6) — speculative explorations are not part of the stream. *)
+
+type result = {
+  ctrace : Ctrace.t;
+  stream : step_record list;  (** architectural execution order *)
+  faulted : bool;
+      (** the architectural path raised #DE or a sandbox fault; the test
+          case must be discarded (CH1 instrumentation failed) *)
+}
+
+val run : ?max_steps:int -> Contract.t -> Program.flat -> Input.t -> result
+(** Collect the contract trace of one (program, input) pair. Faults during
+    speculative exploration merely end the exploration; faults on the
+    architectural path set [faulted]. *)
+
+val ctraces :
+  ?max_steps:int -> Contract.t -> Program.flat -> Input.t list -> result list

@@ -1,0 +1,29 @@
+type t = { mutable s : int64 }
+
+let normalize seed = if seed = 0L then 0x9E3779B97F4A7C15L else seed
+let create ~seed = { s = normalize seed }
+let copy t = { s = t.s }
+
+let next t =
+  let s = t.s in
+  let s = Int64.logxor s (Int64.shift_right_logical s 12) in
+  let s = Int64.logxor s (Int64.shift_left s 25) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 27) in
+  t.s <- s;
+  Int64.mul s 0x2545F4914F6CDD1DL
+
+let bits t n =
+  if n <= 0 then 0L
+  else Int64.logand (next t) (Int64.sub (Int64.shift_left 1L (min n 63)) 1L)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let split t = create ~seed:(next t)

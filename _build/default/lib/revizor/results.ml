@@ -1,0 +1,72 @@
+open Revizor_isa
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let input_to_line (i : Input.t) =
+  Printf.sprintf "seed=0x%Lx entropy=%d" i.Input.seed i.Input.entropy
+
+let input_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ seed_part; entropy_part ] -> (
+      let strip prefix s =
+        if String.length s > String.length prefix
+           && String.sub s 0 (String.length prefix) = prefix
+        then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+        else None
+      in
+      match (strip "seed=" seed_part, strip "entropy=" entropy_part) with
+      | Some seed_s, Some entropy_s -> (
+          match (Int64.of_string_opt seed_s, int_of_string_opt entropy_s) with
+          | Some seed, Some entropy -> Ok { Input.seed; entropy }
+          | _ -> Error (Printf.sprintf "malformed input line %S" line))
+      | _ -> Error (Printf.sprintf "malformed input line %S" line))
+  | _ -> Error (Printf.sprintf "malformed input line %S" line)
+
+let save_inputs path inputs =
+  write_file path
+    (String.concat "\n" (List.map input_to_line inputs) ^ "\n")
+
+let load_inputs path =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then collect acc rest
+        else (
+          match input_of_line line with
+          | Ok i -> collect (i :: acc) rest
+          | Error e -> Error e)
+  in
+  match read_file path with
+  | contents -> collect [] (String.split_on_char '\n' contents)
+  | exception Sys_error e -> Error e
+
+let load_program path =
+  match read_file path with
+  | contents -> Asm_parser.parse_program contents
+  | exception Sys_error e -> Error e
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let save_violation ~dir (v : Violation.t) =
+  mkdir_p dir;
+  write_file
+    (Filename.concat dir "violation.asm")
+    (Program.to_string v.Violation.program ^ "\n");
+  save_inputs (Filename.concat dir "inputs.txt") v.Violation.inputs;
+  write_file
+    (Filename.concat dir "report.txt")
+    (Format.asprintf "%a@." Violation.pp v)

@@ -1,0 +1,22 @@
+open Revizor_isa
+
+(** Persistence of detected violations, mirroring the artifact's results
+    directories (§A.5): each violation is stored as an assembly listing of
+    the test case, the input seeds of the priming sequence, and a
+    human-readable report. Saved test cases can be reloaded and re-checked
+    with {!Fuzzer.check_test_case}. *)
+
+val save_violation : dir:string -> Violation.t -> unit
+(** Writes [dir/violation.asm], [dir/inputs.txt] and [dir/report.txt]
+    (creating [dir] if needed). *)
+
+val load_program : string -> (Program.t, string) result
+(** Parse a saved [*.asm] file. *)
+
+val save_inputs : string -> Input.t list -> unit
+val load_inputs : string -> (Input.t list, string) result
+
+val input_to_line : Input.t -> string
+(** ["seed=0x... entropy=N"]. *)
+
+val input_of_line : string -> (Input.t, string) result

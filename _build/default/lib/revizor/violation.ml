@@ -1,0 +1,61 @@
+open Revizor_isa
+open Revizor_uarch
+
+type t = {
+  program : Program.t;
+  inputs : Input.t list;
+  index_a : int;
+  index_b : int;
+  ctrace : Ctrace.t;
+  htrace_a : Htrace.t;
+  htrace_b : Htrace.t;
+  mechanisms : Cpu.speculation_kind list;
+  label : string;
+}
+
+let label_of contract mechanisms ~mds_patch =
+  let has k = List.mem k mechanisms in
+  (* Assist-driven leaks are never contract-permitted. *)
+  if has Cpu.Assist_store_forward then "LVI-Null"
+  else if has Cpu.Assist_load_forward then if mds_patch then "LVI-Null" else "MDS"
+  else if has Cpu.Store_bypass then
+    if Contract.has_bpas contract then "V4-var" else "V4"
+  else if has Cpu.Branch_mispredict then
+    if
+      Contract.has_cond contract
+      && not contract.Contract.expose_speculative_stores
+    then (* §6.4: the diverging touch must come from a transient store *)
+      "spec-store-eviction"
+    else if Contract.has_cond contract then "V1-var"
+    else "V1"
+  else if has Cpu.Return_mispredict then "ret2spec"
+  else if has Cpu.Indirect_mispredict then "V2"
+  else "unknown"
+
+let make ~contract ~mds_patch ~program ~inputs (c : Analyzer.candidate)
+    ~mechanisms =
+  {
+    program;
+    inputs;
+    index_a = c.Analyzer.index_a;
+    index_b = c.Analyzer.index_b;
+    ctrace = c.Analyzer.cls.Analyzer.ctrace;
+    htrace_a = c.Analyzer.htrace_a;
+    htrace_b = c.Analyzer.htrace_b;
+    mechanisms;
+    label = label_of contract mechanisms ~mds_patch;
+  }
+
+let pp fmt v =
+  Format.fprintf fmt
+    "@[<v>VIOLATION (%s)@,mechanisms: %s@,inputs #%d vs #%d@,htrace A: \
+     %a@,htrace B: %a@,test case:@,%a@]"
+    v.label
+    (String.concat ", " (List.map Cpu.kind_to_string v.mechanisms))
+    v.index_a v.index_b Htrace.pp v.htrace_a Htrace.pp v.htrace_b Program.pp
+    v.program
+
+let summary v =
+  Printf.sprintf "%s (inputs #%d/#%d, mechanisms: %s)" v.label v.index_a
+    v.index_b
+    (String.concat "," (List.map Cpu.kind_to_string v.mechanisms))

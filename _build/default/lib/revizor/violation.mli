@@ -1,0 +1,39 @@
+open Revizor_isa
+open Revizor_uarch
+
+(** Contract counterexamples: the evidence of a violation, plus a
+    post-hoc vulnerability label that mirrors the paper's manual
+    inspection (Table 3's "V1", "V4", "MDS", "LVI-Null" and the "-var"
+    novel variants). Labelling uses the simulator's speculation-event log;
+    detection itself never does. *)
+
+type t = {
+  program : Program.t;
+  inputs : Input.t list;  (** the full priming sequence *)
+  index_a : int;
+  index_b : int;
+  ctrace : Ctrace.t;
+  htrace_a : Htrace.t;
+  htrace_b : Htrace.t;
+  mechanisms : Cpu.speculation_kind list;
+      (** mechanisms active on the violating inputs *)
+  label : string;
+}
+
+val label_of :
+  Contract.t -> Cpu.speculation_kind list -> mds_patch:bool -> string
+(** Pick the paper's name for the leak: prefers the mechanism that the
+    contract does {e not} permit; a mechanism whose speculation type is
+    permitted yields the "-var" (latency-race) variant name. *)
+
+val make :
+  contract:Contract.t ->
+  mds_patch:bool ->
+  program:Program.t ->
+  inputs:Input.t list ->
+  Analyzer.candidate ->
+  mechanisms:Cpu.speculation_kind list ->
+  t
+
+val pp : Format.formatter -> t -> unit
+val summary : t -> string

@@ -1,0 +1,1 @@
+lib/uarch/attack.ml: Array Cache Cpu Htrace Int64 Layout Page_table Ports Revizor_emu

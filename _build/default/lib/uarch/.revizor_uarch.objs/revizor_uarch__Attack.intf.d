@@ -1,0 +1,1 @@
+lib/uarch/attack.mli: Cpu Htrace

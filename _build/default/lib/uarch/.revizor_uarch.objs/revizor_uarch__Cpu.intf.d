@@ -1,0 +1,1 @@
+lib/uarch/cpu.mli: Cache Format Page_table Program Revizor_emu Revizor_isa State Uarch_config

@@ -1,0 +1,1 @@
+lib/uarch/htrace.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/uarch/page_table.ml: Array Layout Revizor_emu

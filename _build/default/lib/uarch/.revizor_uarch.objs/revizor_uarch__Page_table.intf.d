@@ -1,0 +1,1 @@
+lib/uarch/page_table.mli:

@@ -1,0 +1,1 @@
+lib/uarch/predictors.ml: Array List

@@ -1,0 +1,1 @@
+lib/uarch/uarch_config.ml: Format Instruction Int64 Opcode Revizor_isa

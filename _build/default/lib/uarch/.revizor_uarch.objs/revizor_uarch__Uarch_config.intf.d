@@ -1,0 +1,1 @@
+lib/uarch/uarch_config.mli: Format Instruction Revizor_isa

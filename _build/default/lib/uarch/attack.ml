@@ -1,0 +1,65 @@
+open Revizor_emu
+
+type mode = Prime_probe | Flush_reload | Evict_reload | Port_contention
+type threat = { mode : mode; assist_page : int option }
+
+let prime_probe = { mode = Prime_probe; assist_page = None }
+let prime_probe_assist = { mode = Prime_probe; assist_page = Some 0 }
+let flush_reload = { mode = Flush_reload; assist_page = None }
+let evict_reload = { mode = Evict_reload; assist_page = None }
+let port_contention = { mode = Port_contention; assist_page = None }
+
+let mode_to_string = function
+  | Prime_probe -> "Prime+Probe"
+  | Flush_reload -> "Flush+Reload"
+  | Evict_reload -> "Evict+Reload"
+  | Port_contention -> "Port-Contention"
+
+let threat_to_string t =
+  mode_to_string t.mode ^ match t.assist_page with Some _ -> "+Assist" | None -> ""
+
+let monitored_lines = Layout.data_pages * Layout.page_size / Layout.cache_line
+
+let line_addr line =
+  Int64.add Layout.sandbox_base (Int64.of_int (line * Layout.cache_line))
+
+let observe cpu threat run =
+  let cache = Cpu.cache cpu in
+  (match threat.assist_page with
+  | Some page -> Page_table.clear_accessed (Cpu.pages cpu) ~page
+  | None -> ());
+  (match threat.mode with
+  | Prime_probe | Evict_reload -> Cache.prime cache
+  | Flush_reload ->
+      for line = 0 to monitored_lines - 1 do
+        Cache.flush_line cache (line_addr line)
+      done
+  | Port_contention -> ());
+  run ();
+  match threat.mode with
+  | Prime_probe ->
+      let acc = ref Htrace.empty in
+      for set = 0 to Cache.sets cache - 1 do
+        if Cache.probe cache set then acc := Htrace.add set !acc
+      done;
+      !acc
+  | Flush_reload | Evict_reload ->
+      let acc = ref Htrace.empty in
+      for line = 0 to monitored_lines - 1 do
+        if Cache.contains cache (line_addr line) then acc := Htrace.add line !acc
+      done;
+      !acc
+  | Port_contention ->
+      let counts = Cpu.port_counts cpu in
+      let acc = ref Htrace.empty in
+      Array.iteri
+        (fun port count ->
+          if count > 0 then
+            acc := Htrace.add (Ports.observation ~port ~count) !acc)
+        counts;
+      !acc
+
+let trace_domain = function
+  | Prime_probe -> Layout.l1d_sets
+  | Flush_reload | Evict_reload -> monitored_lines
+  | Port_contention -> Ports.n_ports * Ports.buckets

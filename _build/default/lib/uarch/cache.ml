@@ -1,0 +1,100 @@
+open Revizor_emu
+
+type t = {
+  n_sets : int;
+  ways : int;
+  (* [lines.(set).(way)] is a line tag; [lru.(set).(way)] is the recency
+     rank (0 = most recent). Empty ways hold [empty_tag]. *)
+  lines : int64 array array;
+  lru : int array array;
+}
+
+let empty_tag = Int64.min_int
+let attacker_tag way = Int64.of_int (-1 - way)
+
+let create ?(sets = Layout.l1d_sets) ?(ways = Layout.l1d_ways) () =
+  {
+    n_sets = sets;
+    ways;
+    lines = Array.init sets (fun _ -> Array.make ways empty_tag);
+    lru = Array.init sets (fun _ -> Array.init ways (fun w -> w));
+  }
+
+let sets t = t.n_sets
+
+let line_of_addr addr = Int64.div addr (Int64.of_int Layout.cache_line)
+
+let set_of_addr t addr =
+  Int64.to_int (Int64.rem (line_of_addr addr) (Int64.of_int t.n_sets))
+  land (t.n_sets - 1)
+
+let find_way t set tag =
+  let rec go w =
+    if w >= t.ways then None
+    else if t.lines.(set).(w) = tag then Some w
+    else go (w + 1)
+  in
+  go 0
+
+let promote t set way =
+  let old_rank = t.lru.(set).(way) in
+  for w = 0 to t.ways - 1 do
+    if t.lru.(set).(w) < old_rank then t.lru.(set).(w) <- t.lru.(set).(w) + 1
+  done;
+  t.lru.(set).(way) <- 0
+
+let victim_way t set =
+  let worst = ref 0 in
+  for w = 1 to t.ways - 1 do
+    if t.lru.(set).(w) > t.lru.(set).(!worst) then worst := w
+  done;
+  !worst
+
+let touch_tag t set tag =
+  match find_way t set tag with
+  | Some w ->
+      promote t set w;
+      `Hit
+  | None ->
+      let w = victim_way t set in
+      t.lines.(set).(w) <- tag;
+      promote t set w;
+      `Miss
+
+let touch t addr =
+  let tag = line_of_addr addr in
+  touch_tag t (set_of_addr t addr) tag
+
+let contains t addr =
+  find_way t (set_of_addr t addr) (line_of_addr addr) <> None
+
+let flush_line t addr =
+  match find_way t (set_of_addr t addr) (line_of_addr addr) with
+  | Some w -> t.lines.(set_of_addr t addr).(w) <- empty_tag
+  | None -> ()
+
+let flush_all t =
+  Array.iter (fun set -> Array.fill set 0 t.ways empty_tag) t.lines
+
+let prime t =
+  for set = 0 to t.n_sets - 1 do
+    for w = 0 to t.ways - 1 do
+      ignore (touch_tag t set (attacker_tag w))
+    done
+  done
+
+let probe t set =
+  let evicted = ref false in
+  for w = 0 to t.ways - 1 do
+    match touch_tag t set (attacker_tag w) with
+    | `Miss -> evicted := true
+    | `Hit -> ()
+  done;
+  !evicted
+
+let copy t =
+  {
+    t with
+    lines = Array.map Array.copy t.lines;
+    lru = Array.map Array.copy t.lru;
+  }

@@ -1,0 +1,37 @@
+(** Set-associative L1D cache model with LRU replacement.
+
+    Lines are identified by their tag (address divided by line size). The
+    attacker's priming lines use reserved negative tags so that
+    Prime+Probe can be simulated exactly: priming fills every way of every
+    set with attacker lines; any victim access evicts one, and the probe
+    step detects the eviction. *)
+
+type t
+
+val create : ?sets:int -> ?ways:int -> unit -> t
+(** Defaults: {!Layout.l1d_sets} × {!Layout.l1d_ways}. *)
+
+val sets : t -> int
+
+val set_of_addr : t -> int64 -> int
+
+val touch : t -> int64 -> [ `Hit | `Miss ]
+(** Access the line containing the address: update LRU, fill on miss. *)
+
+val contains : t -> int64 -> bool
+(** Whether the line of this address is currently cached (no LRU update). *)
+
+val flush_line : t -> int64 -> unit
+(** CLFLUSH-like invalidation of one line. *)
+
+val flush_all : t -> unit
+
+val prime : t -> unit
+(** Fill every way of every set with attacker lines (Prime phase). *)
+
+val probe : t -> int -> bool
+(** [probe t set] is [true] iff at least one attacker line was evicted from
+    the set since the last {!prime} (Probe phase). Probing re-primes the
+    inspected set, as the real attack's probe loop does. *)
+
+val copy : t -> t

@@ -1,0 +1,398 @@
+open Revizor_isa
+open Revizor_emu
+
+type speculation_kind =
+  | Branch_mispredict
+  | Return_mispredict
+  | Indirect_mispredict
+  | Store_bypass
+  | Assist_load_forward
+  | Assist_store_forward
+
+type event = {
+  kind : speculation_kind;
+  origin_pc : int;
+  transient_loads : int;
+  touched_sets : int list;
+}
+
+type pending_store = {
+  ps_addr : int64;
+  ps_width : Width.t;
+  ps_old : int64;  (** memory value before the store executed *)
+  ps_ready : int;  (** cycle at which the store's address resolves *)
+  ps_assist : bool;
+}
+
+type t = {
+  cfg : Uarch_config.t;
+  cache : Cache.t;
+  pht : Predictors.Pht.t;
+  btb : Predictors.Btb.t;
+  rsb : Predictors.Rsb.t;
+  pages : Page_table.t;
+  mutable fill_buffer : int64;
+  mutable events : event list;
+  port_counts : int array;  (** µops issued per execution port, per run *)
+}
+
+let create cfg =
+  {
+    cfg;
+    cache = Cache.create ();
+    pht = Predictors.Pht.create ~size:cfg.Uarch_config.pht_size ();
+    btb = Predictors.Btb.create ~size:cfg.Uarch_config.btb_size ();
+    rsb = Predictors.Rsb.create ~depth:cfg.Uarch_config.rsb_depth ();
+    pages = Page_table.create ();
+    fill_buffer = 0L;
+    events = [];
+    port_counts = Array.make Ports.n_ports 0;
+  }
+
+let config t = t.cfg
+let cache t = t.cache
+let pages t = t.pages
+
+let reset_session t =
+  Cache.flush_all t.cache;
+  Predictors.Pht.reset t.pht;
+  Predictors.Btb.reset t.btb;
+  Predictors.Rsb.reset t.rsb;
+  Page_table.set_all t.pages;
+  t.fill_buffer <- 0L;
+  t.events <- []
+
+let events t = List.rev t.events
+let fill_buffer t = t.fill_buffer
+let set_fill_buffer t v = t.fill_buffer <- v
+let port_counts t = Array.copy t.port_counts
+
+let count_ports t i =
+  List.iter
+    (fun p -> t.port_counts.(p) <- t.port_counts.(p) + 1)
+    (Ports.of_instruction i)
+
+let kind_to_string = function
+  | Branch_mispredict -> "branch-mispredict"
+  | Return_mispredict -> "return-mispredict"
+  | Indirect_mispredict -> "indirect-mispredict"
+  | Store_bypass -> "store-bypass"
+  | Assist_load_forward -> "assist-load-forward"
+  | Assist_store_forward -> "assist-store-forward"
+
+let pp_event fmt e =
+  Format.fprintf fmt "%s@pc=%d (transient loads: %d, sets: %s)"
+    (kind_to_string e.kind) e.origin_pc e.transient_loads
+    (String.concat "," (List.map string_of_int e.touched_sets))
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type timing = {
+  mutable fetch_pos : int;
+  reg_ready : int array;
+  mutable flags_ready : int;
+}
+
+let fetch_time t tm = tm.fetch_pos / t.cfg.Uarch_config.fetch_width
+
+let src_ready tm (i : Instruction.t) =
+  let r =
+    List.fold_left
+      (fun acc reg -> max acc tm.reg_ready.(Reg.index reg))
+      0 (Instruction.regs_read i)
+  in
+  if Opcode.reads_flags i.Instruction.opcode then max r tm.flags_ready else r
+
+let addr_regs_ready t tm (m : Operand.mem) =
+  let r = function
+    | Some reg -> tm.reg_ready.(Reg.index reg)
+    | None -> 0
+  in
+  max (r m.Operand.base) (r m.Operand.index) + t.cfg.Uarch_config.lat.Uarch_config.agu
+
+(* Base execution latency, including the operand-dependent division time.
+   The memory latency is added separately by the caller, which knows
+   whether the access hit. *)
+let exec_latency t (state : State.t) (i : Instruction.t) =
+  match i.Instruction.opcode with
+  | Opcode.Div | Opcode.Idiv ->
+      let w = match Instruction.mem_operand i with
+        | Some (_, w) -> w
+        | None -> (
+            match i.Instruction.operands with
+            | [ Operand.Reg (_, w) ] -> w
+            | _ -> Width.W64)
+      in
+      let dividend = State.get_reg state Reg.RAX w in
+      Uarch_config.div_latency t.cfg ~dividend
+  | _ -> Uarch_config.inst_latency t.cfg i
+
+let overlaps a1 w1 a2 w2 =
+  let open Int64 in
+  let e1 = add a1 (of_int (Width.bytes w1)) and e2 = add a2 (of_int (Width.bytes w2)) in
+  compare a1 e2 < 0 && compare a2 e1 < 0
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(max_steps = 20000) t flat (state : State.t) =
+  t.events <- [];
+  Array.fill t.port_counts 0 Ports.n_ports 0;
+  let code_len = Array.length flat.Program.code in
+  let tm = { fetch_pos = 0; reg_ready = Array.make 16 0; flags_ready = 0 } in
+  let pending : pending_store list ref = ref [] in
+  let steps = ref 0 in
+
+  (* Run a transient episode: execute from [start_pc] until the squash
+     time, the ROB fills, a serializing instruction, a fault, or the end
+     of the program. Architectural effects are rolled back; cache touches
+     of accesses whose issue time beats the squash remain — that gating is
+     what creates the latency races of §6.3. [poison] optionally rewrites
+     one memory location first (stale-value forwarding). *)
+  let run_transient ~kind ~origin_pc ~start_pc ~squash_time ~poison =
+    if start_pc >= 0 && start_pc <= code_len then begin
+      let snap = State.snapshot state in
+      let saved_regs = Array.copy tm.reg_ready in
+      let saved_flags = tm.flags_ready in
+      let saved_fetch = tm.fetch_pos in
+      let saved_fill = t.fill_buffer in
+      (match poison with
+      | Some (addr, w, v) -> Memory.write state.State.mem ~addr w v
+      | None -> ());
+      state.State.pc <- start_pc;
+      let touched = ref [] in
+      let loads = ref 0 in
+      let budget = ref t.cfg.Uarch_config.rob_size in
+      (try
+         while state.State.pc < code_len && !budget > 0 do
+           let ft = fetch_time t tm in
+           if ft >= squash_time then raise Exit;
+           let i = flat.Program.code.(state.State.pc) in
+           if Opcode.is_serializing i.Instruction.opcode then raise Exit;
+           tm.fetch_pos <- tm.fetch_pos + 1;
+           decr budget;
+           let start = max ft (src_ready tm i) in
+           if start < squash_time then count_ports t i;
+           let lat = exec_latency t state i in
+           let outcome = Semantics.step flat state in
+           let mem_lat = ref 0 in
+           List.iter
+             (fun (a : Semantics.access) ->
+               if start < squash_time then begin
+                 let hit = Cache.contains t.cache a.Semantics.addr in
+                 let is_store = a.Semantics.kind = `Store in
+                 let observable =
+                   (not is_store) || t.cfg.Uarch_config.speculative_store_eviction
+                 in
+                 if observable then begin
+                   ignore (Cache.touch t.cache a.Semantics.addr);
+                   touched := Cache.set_of_addr t.cache a.Semantics.addr :: !touched;
+                   t.fill_buffer <- a.Semantics.value
+                 end;
+                 incr loads;
+                 if not is_store then
+                   mem_lat := max !mem_lat (Uarch_config.mem_latency t.cfg ~hit)
+               end
+               else
+                 (* the access never issued: dependents stay unready *)
+                 mem_lat := max !mem_lat (squash_time - start + 1))
+             outcome.Semantics.accesses;
+           let completion = start + lat + !mem_lat in
+           List.iter
+             (fun r -> tm.reg_ready.(Reg.index r) <- completion)
+             (Instruction.regs_written i);
+           if Opcode.writes_flags i.Instruction.opcode then
+             tm.flags_ready <- completion
+         done
+       with
+      | Exit -> ()
+      | Semantics.Division_fault | Memory.Fault _ -> ());
+      State.restore state snap;
+      Array.blit saved_regs 0 tm.reg_ready 0 16;
+      tm.flags_ready <- saved_flags;
+      tm.fetch_pos <- saved_fetch;
+      t.fill_buffer <- saved_fill;
+      t.events <-
+        {
+          kind;
+          origin_pc;
+          transient_loads = !loads;
+          touched_sets = List.sort_uniq Stdlib.compare !touched;
+        }
+        :: t.events
+    end
+  in
+
+  while state.State.pc >= 0 && state.State.pc < code_len && !steps < max_steps do
+    incr steps;
+    let pc = state.State.pc in
+    let i = flat.Program.code.(pc) in
+    let ft = fetch_time t tm in
+    tm.fetch_pos <- tm.fetch_pos + 1;
+    if Opcode.is_serializing i.Instruction.opcode then begin
+      (* Full barrier: every earlier instruction completes, every pending
+         store resolves, the front end stalls until then. *)
+      let horizon = Array.fold_left max tm.flags_ready tm.reg_ready in
+      Array.fill tm.reg_ready 0 16 horizon;
+      tm.flags_ready <- horizon;
+      tm.fetch_pos <- max tm.fetch_pos (horizon * t.cfg.Uarch_config.fetch_width);
+      pending := [];
+      state.State.pc <- pc + 1
+    end
+    else begin
+      let start = max ft (src_ready tm i) in
+      count_ports t i;
+      pending := List.filter (fun ps -> ps.ps_ready > ft) !pending;
+      let mem_info =
+        match Instruction.mem_operand i with
+        | Some (m, w) -> Some (Semantics.mem_addr state m, w, addr_regs_ready t tm m)
+        | None -> None
+      in
+      (* Microcode assist: first access to a page with a cleared Accessed
+         bit. Loads transiently forward stale fill-buffer data (MDS) or
+         zeros (MDS patch); stores resolve late and may be bypassed below
+         (the LVI-class forwarding failure). *)
+      let assist_fired =
+        match mem_info with
+        | Some (addr, _, _) when Layout.in_sandbox addr ->
+            let page = Layout.page_of_offset (Layout.offset_of_addr addr) in
+            Page_table.access t.pages ~page
+        | Some _ | None -> false
+      in
+      let assist_resolve = start + t.cfg.Uarch_config.lat.Uarch_config.assist in
+      (if assist_fired && Instruction.loads i then
+         match mem_info with
+         | Some (addr, w, _) ->
+             let tv = if t.cfg.Uarch_config.mds_patch then 0L else t.fill_buffer in
+             (* The assist forwards the bogus value quickly — dependents of
+                the poisoned load must not stall on a cache miss. *)
+             ignore (Cache.touch t.cache addr);
+             run_transient ~kind:Assist_load_forward ~origin_pc:pc ~start_pc:pc
+               ~squash_time:assist_resolve ~poison:(Some (addr, w, tv))
+         | None -> ());
+      (* Speculative store bypass: a load issuing before an older store's
+         address has resolved transiently reads the stale memory value. *)
+      (if Instruction.loads i then
+         match mem_info with
+         | Some (addr, w, _) ->
+             let candidate =
+               List.find_opt
+                 (fun ps ->
+                   ps.ps_ready > start
+                   && overlaps addr w ps.ps_addr ps.ps_width
+                   &&
+                   if ps.ps_assist then t.cfg.Uarch_config.assist_forwarding_leak
+                   else not t.cfg.Uarch_config.v4_patch)
+                 !pending
+             in
+             (match candidate with
+             | Some ps ->
+                 let kind =
+                   if ps.ps_assist then Assist_store_forward else Store_bypass
+                 in
+                 run_transient ~kind ~origin_pc:pc ~start_pc:pc
+                   ~squash_time:ps.ps_ready
+                   ~poison:(Some (ps.ps_addr, ps.ps_width, ps.ps_old))
+             | None -> ())
+         | None -> ());
+      (* Record the pre-store value for the store buffer. *)
+      let store_old =
+        if Instruction.stores i then
+          match mem_info with
+          | Some (addr, w, ar) ->
+              Some (addr, w, Memory.read state.State.mem ~addr w, ar)
+          | None -> None
+        else None
+      in
+      let lat = exec_latency t state i in
+      let hit_for_load =
+        match mem_info with
+        | Some (addr, _, _) when Instruction.loads i ->
+            Some (Cache.contains t.cache addr)
+        | Some _ | None -> None
+      in
+      (* Branch-prediction bookkeeping around the architectural step. *)
+      (match i.Instruction.opcode with
+      | Opcode.Jcc c ->
+          let actual = Flags.eval_cond state.State.flags c in
+          let predicted = Predictors.Pht.predict t.pht ~pc in
+          let resolve =
+            max ft tm.flags_ready + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
+          in
+          let outcome = Semantics.step flat state in
+          ignore outcome;
+          if predicted <> actual then begin
+            let wrong_pc = if actual then pc + 1 else flat.Program.target.(pc) in
+            run_transient ~kind:Branch_mispredict ~origin_pc:pc ~start_pc:wrong_pc
+              ~squash_time:resolve ~poison:None
+          end;
+          Predictors.Pht.update t.pht ~pc ~taken:actual
+      | Opcode.Ret ->
+          let predicted = Predictors.Rsb.pop t.rsb in
+          let rsp = State.get_reg state Reg.stack_pointer Width.W64 in
+          let stack_hit = Cache.contains t.cache rsp in
+          let outcome = Semantics.step flat state in
+          let resolve =
+            start + Uarch_config.mem_latency t.cfg ~hit:stack_hit
+            + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
+          in
+          (match predicted with
+          | Some p when p <> outcome.Semantics.next ->
+              run_transient ~kind:Return_mispredict ~origin_pc:pc ~start_pc:p
+                ~squash_time:resolve ~poison:None
+          | Some _ | None -> ())
+      | Opcode.JmpInd ->
+          let predicted = Predictors.Btb.predict t.btb ~pc in
+          let outcome = Semantics.step flat state in
+          let resolve =
+            start + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
+          in
+          (match predicted with
+          | Some p when p <> outcome.Semantics.next ->
+              run_transient ~kind:Indirect_mispredict ~origin_pc:pc ~start_pc:p
+                ~squash_time:resolve ~poison:None
+          | Some _ | None -> ());
+          Predictors.Btb.update t.btb ~pc ~target:outcome.Semantics.next
+      | Opcode.Call ->
+          let _ = Semantics.step flat state in
+          Predictors.Rsb.push t.rsb (pc + 1)
+      | _ -> ignore (Semantics.step flat state));
+      (* Committed memory effects: cache fills and fill-buffer updates. *)
+      let mem_lat = ref 0 in
+      (match (mem_info, hit_for_load) with
+      | Some _, Some hit -> mem_lat := Uarch_config.mem_latency t.cfg ~hit
+      | _ -> ());
+      (match mem_info with
+      | Some (addr, w, _) ->
+          ignore (Cache.touch t.cache addr);
+          t.fill_buffer <- Memory.read state.State.mem ~addr w
+      | None -> ());
+      (* Implicit stack accesses of CALL/RET also fill the cache. *)
+      (match i.Instruction.opcode with
+      | Opcode.Call | Opcode.Ret ->
+          let rsp = State.get_reg state Reg.stack_pointer Width.W64 in
+          ignore (Cache.touch t.cache rsp)
+      | _ -> ());
+      (* Register the store in the store buffer for bypass detection. *)
+      (match store_old with
+      | Some (addr, w, old, ar) ->
+          let ready =
+            if assist_fired && not (Instruction.loads i) then
+              max ar assist_resolve
+            else ar
+          in
+          let ps_assist = assist_fired && not (Instruction.loads i) in
+          pending :=
+            { ps_addr = addr; ps_width = w; ps_old = old; ps_ready = ready; ps_assist }
+            :: !pending
+      | None -> ());
+      let completion = start + lat + !mem_lat + (if assist_fired then t.cfg.Uarch_config.lat.Uarch_config.assist else 0) in
+      List.iter
+        (fun r -> tm.reg_ready.(Reg.index r) <- completion)
+        (Instruction.regs_written i);
+      if Opcode.writes_flags i.Instruction.opcode then tm.flags_ready <- completion
+    end
+  done

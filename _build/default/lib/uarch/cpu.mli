@@ -1,0 +1,83 @@
+open Revizor_isa
+open Revizor_emu
+
+(** The simulated CPU under test.
+
+    This is the repository's stand-in for the black-box silicon of the
+    paper (see DESIGN.md §2): a dataflow-timing engine that executes a
+    program architecturally while modelling the transient behaviour of an
+    out-of-order speculative core. Transient execution leaves traces in
+    the {!Cache.t}, which the measurement layer observes exactly as a
+    cache side-channel attack would.
+
+    Modelled leak mechanisms:
+    - conditional-branch misprediction (PHT-driven) — Spectre V1;
+    - speculative store bypass when a store's address resolves late —
+      Spectre V4 (disabled by the V4/SSBD patch);
+    - return- and indirect-target misprediction (RSB/BTB) — ret2spec / V2;
+    - microcode-assisted loads transiently forwarding stale fill-buffer
+      data — MDS (zeros when the MDS patch is present);
+    - microcode-assisted stores breaking store-to-load forwarding — the
+      LVI-class leak on MDS-patched parts;
+    - the dataflow timing model gates every transient cache touch on the
+      access's address being ready before the squash, which reproduces the
+      variable-latency races of §6.3 (V1-var, V4-var).
+
+    The predictors and the cache persist across {!run} calls; this is what
+    makes the paper's priming technique (§5.3) meaningful. *)
+
+type t
+
+(** Why a transient episode happened — used only for post-hoc labelling of
+    violations (the analyzer itself never looks at this: detection stays
+    black-box). *)
+type speculation_kind =
+  | Branch_mispredict
+  | Return_mispredict
+  | Indirect_mispredict
+  | Store_bypass
+  | Assist_load_forward
+  | Assist_store_forward
+
+type event = {
+  kind : speculation_kind;
+  origin_pc : int;  (** instruction that triggered the speculation *)
+  transient_loads : int;  (** transient memory accesses that executed *)
+  touched_sets : int list;  (** cache sets touched transiently *)
+}
+
+val create : Uarch_config.t -> t
+val config : t -> Uarch_config.t
+val cache : t -> Cache.t
+val pages : t -> Page_table.t
+
+val reset_session : t -> unit
+(** Forget all microarchitectural state: predictors, cache, fill buffer,
+    page bits. Used between test cases. *)
+
+val fill_buffer : t -> int64
+
+val set_fill_buffer : t -> int64 -> unit
+(** Model the data movement of loading an input into the sandbox: on real
+    hardware the executor's input-setup writes leave the victim's own data
+    in the fill buffers, which is what MDS-class assists then leak. The
+    executor calls this after materializing each input. *)
+
+val run : ?max_steps:int -> t -> Program.flat -> State.t -> unit
+(** Execute the program to completion. On return the architectural state
+    is exactly what {!Semantics.run} would produce; the microarchitectural
+    state (cache, predictors, fill buffer) additionally reflects both the
+    committed and the transient behaviour.
+
+    @raise Semantics.Division_fault, Memory.Fault as the emulator does. *)
+
+val events : t -> event list
+(** Speculation episodes of the most recent {!run}, in execution order. *)
+
+val port_counts : t -> int array
+(** µops issued per execution port during the most recent {!run},
+    including transient µops that beat the squash — the observable of the
+    port-contention channel (extension, cf. §7). *)
+
+val kind_to_string : speculation_kind -> string
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,28 @@
+module S = Set.Make (Int)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let of_list = S.of_list
+let add = S.add
+let union = S.union
+let inter = S.inter
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+let is_empty = S.is_empty
+let cardinal = S.cardinal
+let elements = S.elements
+let mem = S.mem
+let diff = S.diff
+let comparable a b = subset a b || subset b a
+
+let pp_wide ~width fmt t =
+  for i = 0 to width - 1 do
+    Format.pp_print_char fmt (if S.mem i t then '1' else '0')
+  done
+
+let pp fmt t =
+  let width = match S.max_elt_opt t with Some m when m >= 64 -> 128 | _ -> 64 in
+  pp_wide ~width fmt t

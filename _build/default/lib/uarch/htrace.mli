@@ -1,0 +1,34 @@
+(** Hardware traces: the set of side-channel observations (cache sets or
+    cache lines, depending on the measurement mode) left by one execution
+    of a test case with one input.
+
+    Traces are sets rather than sequences because the executor probes the
+    final cache state once, after the execution (§7 "Granularity of
+    measurements"). The analyzer compares them with the subset relation
+    (§5.5). *)
+
+type t
+
+val empty : t
+val singleton : int -> t
+val of_list : int list -> t
+val add : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+val cardinal : t -> int
+val elements : t -> int list
+val mem : int -> t -> bool
+val diff : t -> t -> t
+
+val comparable : t -> t -> bool
+(** [comparable a b] iff [subset a b || subset b a]: the analyzer's
+    equivalence heuristic for union-of-contexts traces. *)
+
+val pp : Format.formatter -> t -> unit
+(** Bit-string rendering over 64 positions, as in §5.3's example. *)
+
+val pp_wide : width:int -> Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+open Revizor_isa
+
+(** Execution-port model (extension; the paper lists port-contention
+    channels as future work in §7).
+
+    A simplified Skylake-like port map: ALU µops issue on ports 0/1/5/6,
+    multiplies on port 1, divides on port 0, loads on ports 2/3, stores
+    on port 4 (store-data) and 7 (store-address). The simulator counts
+    issued µops per port; the port-contention attack observes bucketized
+    counts — an SMT sibling measuring its own slowdown. *)
+
+val n_ports : int (* 8 *)
+
+val of_instruction : Instruction.t -> int list
+(** Ports used by one dynamic instance of the instruction (one entry per
+    µop; duplicates allowed). *)
+
+val buckets : int
+(** Observation granularity of the port channel: counts are reported in
+    [buckets] logarithmic buckets. *)
+
+val bucket_of_count : int -> int
+(** Monotone, 0 for a zero count. *)
+
+val observation : port:int -> count:int -> int
+(** Encode (port, bucketized count) into an {!Htrace} element. *)

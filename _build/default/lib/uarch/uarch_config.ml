@@ -1,0 +1,95 @@
+open Revizor_isa
+
+type latencies = {
+  alu : int;
+  mul : int;
+  load_hit : int;
+  load_miss : int;
+  agu : int;
+  branch_resolve : int;
+  div_base : int;
+  div_per_nibble : int;
+  assist : int;
+}
+
+type t = {
+  name : string;
+  rob_size : int;
+  fetch_width : int;
+  max_nesting : int;
+  pht_size : int;
+  btb_size : int;
+  rsb_depth : int;
+  v4_patch : bool;
+  mds_patch : bool;
+  assist_forwarding_leak : bool;
+  speculative_store_eviction : bool;
+  lat : latencies;
+}
+
+let default_latencies =
+  {
+    alu = 1;
+    mul = 3;
+    load_hit = 4;
+    load_miss = 50;
+    agu = 1;
+    branch_resolve = 1;
+    div_base = 10;
+    div_per_nibble = 4;
+    assist = 30;
+  }
+
+let skylake ~v4_patch =
+  {
+    name = (if v4_patch then "Skylake (V4 patch on)" else "Skylake (V4 patch off)");
+    rob_size = 224;
+    fetch_width = 4;
+    max_nesting = 4;
+    pht_size = 512;
+    btb_size = 256;
+    rsb_depth = 16;
+    v4_patch;
+    mds_patch = false;
+    assist_forwarding_leak = false;
+    speculative_store_eviction = false;
+    lat = default_latencies;
+  }
+
+let coffee_lake =
+  {
+    name = "Coffee Lake (MDS patch, V4 patch on)";
+    rob_size = 224;
+    fetch_width = 4;
+    max_nesting = 4;
+    pht_size = 512;
+    btb_size = 256;
+    rsb_depth = 16;
+    v4_patch = true;
+    mds_patch = true;
+    assist_forwarding_leak = true;
+    speculative_store_eviction = true;
+    lat = default_latencies;
+  }
+
+let significant_nibbles v =
+  let rec go v acc = if v = 0L then acc else go (Int64.shift_right_logical v 4) (acc + 1) in
+  go v 0
+
+let div_latency t ~dividend =
+  t.lat.div_base + (t.lat.div_per_nibble * significant_nibbles dividend)
+
+let mem_latency t ~hit = if hit then t.lat.load_hit else t.lat.load_miss
+
+let inst_latency t (i : Instruction.t) =
+  match i.Instruction.opcode with
+  | Opcode.Imul -> t.lat.mul
+  | Opcode.Div | Opcode.Idiv -> t.lat.div_base
+  | Opcode.Jcc _ | Opcode.Jmp | Opcode.JmpInd | Opcode.Call | Opcode.Ret ->
+      t.lat.branch_resolve
+  | _ -> t.lat.alu
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s [ROB=%d fetch=%d v4_patch=%b mds_patch=%b spec_store_evict=%b]" t.name
+    t.rob_size t.fetch_width t.v4_patch t.mds_patch t.speculative_store_eviction

@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Cond Flags Instruction Int64 Layout List Memory Opcode Operand Printf Program Reg Revizor_emu Revizor_isa Semantics State Width Word

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm_parser Catalog Cond Format Instruction List Opcode Operand Program Reg Result Revizor_isa String Width

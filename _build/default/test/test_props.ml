@@ -1,0 +1,354 @@
+(* Property-based tests (QCheck): algebraic invariants of the word/flags
+   layer, cache, traces, analyzer, generator, parser — and the central
+   soundness property that the speculative CPU simulator is architecturally
+   equivalent to the pure emulator on arbitrary generated programs. *)
+
+open Revizor_isa
+open Revizor_emu
+open Revizor_uarch
+open Revizor
+
+let count = 200
+
+let test ?(count = count) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let width_gen = QCheck.oneofl Width.all
+
+let full_int64_gen =
+  QCheck.(
+    map
+      (fun (a, b) -> Int64.logxor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 31))
+      (pair int int))
+
+(* --- Word / Flags ------------------------------------------------------ *)
+
+let word_props =
+  [
+    test "zext is idempotent" QCheck.(pair width_gen full_int64_gen)
+      (fun (w, v) -> Word.zext w (Word.zext w v) = Word.zext w v);
+    test "sext agrees with zext on the low bits"
+      QCheck.(pair width_gen full_int64_gen)
+      (fun (w, v) -> Word.zext w (Word.sext w v) = Word.zext w v);
+    test "sext sign" QCheck.(pair width_gen full_int64_gen) (fun (w, v) ->
+        let s = Word.sext w v in
+        if Word.sign_set w v then Int64.compare s 0L < 0
+        else Int64.compare s 0L >= 0);
+    test "merge keeps untouched bits"
+      QCheck.(triple width_gen full_int64_gen full_int64_gen)
+      (fun (w, old, v) ->
+        let m = Word.merge w ~old v in
+        match w with
+        | Width.W64 | Width.W32 -> Word.zext w m = Word.zext w v
+        | Width.W8 | Width.W16 ->
+            Word.zext w m = Word.zext w v
+            && Int64.shift_right_logical m (Width.bits w)
+               = Int64.shift_right_logical old (Width.bits w));
+    test "eval_cond respects negation"
+      QCheck.(pair (oneofl Cond.all) full_int64_gen)
+      (fun (c, bits) ->
+        let f = Flags.of_word bits in
+        Flags.eval_cond f c = not (Flags.eval_cond f (Cond.negate c)));
+    test "flags roundtrip through RFLAGS word" full_int64_gen (fun bits ->
+        let f = Flags.of_word bits in
+        Flags.equal f (Flags.of_word (Flags.to_word f)));
+    test "add carry matches wide arithmetic (w <= 32)"
+      QCheck.(triple (oneofl [ Width.W8; Width.W16; Width.W32 ]) full_int64_gen full_int64_gen)
+      (fun (w, a, b) ->
+        let a = Word.zext w a and b = Word.zext w b in
+        let r = Word.zext w (Int64.add a b) in
+        let f = Flags.after_add w ~a ~b ~carry_in:false ~r in
+        f.Flags.cf = (Int64.unsigned_compare (Int64.add a b) (Width.mask w) > 0)
+        && f.Flags.zf = (r = 0L)
+        && f.Flags.sf = Word.sign_set w r);
+    test "sub borrow matches unsigned comparison"
+      QCheck.(triple width_gen full_int64_gen full_int64_gen)
+      (fun (w, a, b) ->
+        let a = Word.zext w a and b = Word.zext w b in
+        let r = Word.zext w (Int64.sub a b) in
+        let f = Flags.after_sub w ~a ~b ~borrow_in:false ~r in
+        f.Flags.cf = (Int64.unsigned_compare a b < 0)
+        && f.Flags.zf = (a = b));
+  ]
+
+(* --- Memory -------------------------------------------------------------- *)
+
+let offset_gen = QCheck.int_range 0 (Layout.sandbox_size - 9)
+
+let memory_props =
+  [
+    test "write/read roundtrip" QCheck.(triple width_gen offset_gen full_int64_gen)
+      (fun (w, off, v) ->
+        let m = Memory.create () in
+        let addr = Int64.add Layout.sandbox_base (Int64.of_int off) in
+        Memory.write m ~addr w v;
+        Memory.read m ~addr w = Word.zext w v);
+    test "disjoint writes do not interfere"
+      QCheck.(pair offset_gen full_int64_gen)
+      (fun (off, v) ->
+        QCheck.assume (off + 16 < Layout.sandbox_size);
+        let m = Memory.create () in
+        let addr = Int64.add Layout.sandbox_base (Int64.of_int off) in
+        Memory.write m ~addr Width.W64 v;
+        Memory.write m ~addr:(Int64.add addr 8L) Width.W64 (Int64.lognot v);
+        Memory.read m ~addr Width.W64 = v);
+    test "snapshot/restore is exact" QCheck.(pair offset_gen full_int64_gen)
+      (fun (off, v) ->
+        let m = Memory.create () in
+        let snap = Memory.snapshot m in
+        let addr = Int64.add Layout.sandbox_base (Int64.of_int off) in
+        Memory.write m ~addr Width.W64 v;
+        Memory.restore m snap;
+        Memory.read m ~addr Width.W64 = 0L);
+  ]
+
+(* --- Cache / Htrace -------------------------------------------------------- *)
+
+let cache_set_arb = QCheck.int_range 0 63
+
+let cache_props =
+  [
+    test "touch implies contains" QCheck.(small_list cache_set_arb) (fun lines ->
+        let c = Cache.create () in
+        List.iter
+          (fun l ->
+            ignore (Cache.touch c (Int64.of_int (l * Layout.cache_line))))
+          lines;
+        match List.rev lines with
+        | [] -> true
+        | last :: _ -> Cache.contains c (Int64.of_int (last * Layout.cache_line)));
+    test "probe detects exactly the touched sets" QCheck.(small_list cache_set_arb)
+      (fun sets ->
+        let c = Cache.create () in
+        Cache.prime c;
+        List.iter
+          (fun s ->
+            ignore
+              (Cache.touch c
+                 (Int64.add Layout.sandbox_base (Int64.of_int (s * Layout.cache_line)))))
+          sets;
+        (* sandbox_base is line 1024, which is set 0: offset s*64 lands in
+           set s *)
+        let touched s = List.mem s sets in
+        List.for_all
+          (fun set -> Cache.probe c set = touched set)
+          (List.init 64 Fun.id));
+    test "htrace union is an upper bound" QCheck.(pair (small_list cache_set_arb) (small_list cache_set_arb))
+      (fun (a, b) ->
+        let ha = Htrace.of_list a and hb = Htrace.of_list b in
+        let u = Htrace.union ha hb in
+        Htrace.subset ha u && Htrace.subset hb u);
+    test "comparable is symmetric" QCheck.(pair (small_list cache_set_arb) (small_list cache_set_arb))
+      (fun (a, b) ->
+        let ha = Htrace.of_list a and hb = Htrace.of_list b in
+        Htrace.comparable ha hb = Htrace.comparable hb ha);
+    test "equal traces are comparable" QCheck.(small_list cache_set_arb) (fun a ->
+        let h = Htrace.of_list a in
+        Htrace.comparable h h);
+  ]
+
+(* --- Analyzer ---------------------------------------------------------------- *)
+
+let analyzer_props =
+  [
+    test "classes partition the effective inputs" QCheck.(list_of_size (Gen.return 30) (int_range 0 3))
+      (fun tags ->
+        let ctraces =
+          Array.of_list (List.map (fun t -> [ Ctrace.Addr (Int64.of_int t) ]) tags)
+        in
+        let classes = Analyzer.input_classes ctraces in
+        let all = List.concat_map (fun c -> c.Analyzer.members) classes in
+        List.length all = List.length (List.sort_uniq compare all)
+        && List.for_all
+             (fun c ->
+               List.for_all
+                 (fun i -> Ctrace.equal ctraces.(i) c.Analyzer.ctrace)
+                 c.Analyzer.members)
+             classes);
+    test "no violation within identical traces" QCheck.(int_range 2 10) (fun n ->
+        let cls = { Analyzer.ctrace = []; members = List.init n Fun.id } in
+        let htraces = Array.make n (Htrace.of_list [ 1; 2 ]) in
+        Analyzer.check_class cls htraces = None);
+  ]
+
+(* --- Generator / Parser --------------------------------------------------------- *)
+
+let seed_gen = QCheck.(map Int64.of_int small_int)
+
+let subsets_gen =
+  QCheck.oneofl
+    [
+      [ Catalog.AR ];
+      [ Catalog.AR; Catalog.MEM ];
+      [ Catalog.AR; Catalog.MEM; Catalog.VAR ];
+      [ Catalog.AR; Catalog.MEM; Catalog.CB ];
+      [ Catalog.AR; Catalog.MEM; Catalog.CB; Catalog.VAR ];
+    ]
+
+let gen_program seed subsets =
+  let prng = Prng.create ~seed in
+  Generator.generate prng { Generator.default_cfg with Generator.subsets }
+
+let generator_props =
+  [
+    test ~count:100 "generated programs always validate" QCheck.(pair seed_gen subsets_gen)
+      (fun (seed, subsets) ->
+        Result.is_ok (Program.validate (gen_program seed subsets)));
+    test ~count:50 "generated programs never fault architecturally"
+      QCheck.(pair seed_gen subsets_gen)
+      (fun (seed, subsets) ->
+        let p = gen_program seed subsets in
+        let flat = Program.flatten_exn p in
+        let prng = Prng.create ~seed:(Int64.add seed 99L) in
+        List.for_all
+          (fun input ->
+            let r = Model.run Contract.ct_seq flat input in
+            not r.Model.faulted)
+          (Input.generate_many prng ~entropy:8 ~n:3));
+    test ~count:50 "printer/parser roundtrip" QCheck.(pair seed_gen subsets_gen)
+      (fun (seed, subsets) ->
+        let p = gen_program seed subsets in
+        match Asm_parser.parse_program (Program.to_string p) with
+        | Ok p' -> Program.to_string p = Program.to_string p'
+        | Error _ -> false);
+    test ~count:50 "model is deterministic" QCheck.(pair seed_gen seed_gen)
+      (fun (pseed, iseed) ->
+        let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB ] in
+        let flat = Program.flatten_exn p in
+        let input = { Input.seed = iseed; entropy = 2 } in
+        let a = Model.run Contract.ct_cond_bpas flat input in
+        let b = Model.run Contract.ct_cond_bpas flat input in
+        Ctrace.equal a.Model.ctrace b.Model.ctrace);
+  ]
+
+(* --- The central soundness property ---------------------------------------------- *)
+
+let cpu_props =
+  [
+    test ~count:60
+      "speculative CPU is architecturally equivalent to the pure emulator"
+      QCheck.(triple seed_gen seed_gen (oneofl [ false; true ]))
+      (fun (pseed, iseed, v4_patch) ->
+        let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB; Catalog.VAR ] in
+        let flat = Program.flatten_exn p in
+        let input = { Input.seed = iseed; entropy = 3 } in
+        let s_cpu = Input.to_state input in
+        let s_emu = Input.to_state input in
+        let cpu = Cpu.create (Uarch_config.skylake ~v4_patch) in
+        (* train predictors with a couple of other inputs first, to give
+           the run real speculation to roll back *)
+        let prng = Prng.create ~seed:(Int64.add iseed 7L) in
+        List.iter
+          (fun i -> Cpu.run cpu flat (Input.to_state i))
+          (Input.generate_many prng ~entropy:3 ~n:3);
+        Cpu.run cpu flat s_cpu;
+        ignore (Semantics.run flat s_emu);
+        State.equal_arch s_cpu s_emu);
+    test ~count:40 "assists never change architectural results"
+      QCheck.(pair seed_gen seed_gen)
+      (fun (pseed, iseed) ->
+        let p = gen_program pseed [ Catalog.AR; Catalog.MEM ] in
+        let flat = Program.flatten_exn p in
+        let input = { Input.seed = iseed; entropy = 3 } in
+        let s_cpu = Input.to_state input in
+        let s_emu = Input.to_state input in
+        let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
+        Page_table.clear_accessed (Cpu.pages cpu) ~page:0;
+        Cpu.run cpu flat s_cpu;
+        ignore (Semantics.run flat s_emu);
+        State.equal_arch s_cpu s_emu);
+    test ~count:40 "ret target masking stays in range"
+      QCheck.(pair full_int64_gen (int_range 1 50))
+      (fun (v, len) ->
+        let idx = Semantics.mask_code_index ~code_len:len v in
+        idx >= 0 && idx <= len);
+  ]
+
+(* --- Executor reproducibility ------------------------------------------------------- *)
+
+let executor_props =
+  [
+    test ~count:10 "hardware traces are reproducible across CPU sessions"
+      QCheck.(pair seed_gen seed_gen)
+      (fun (pseed, iseed) ->
+        let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB ] in
+        let flat = Program.flatten_exn p in
+        let inputs =
+          Input.generate_many (Prng.create ~seed:iseed) ~entropy:2 ~n:10
+        in
+        let measure () =
+          let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
+          let ex = Executor.create cpu (Executor.default_config ()) in
+          Executor.htraces ex flat inputs
+        in
+        Array.for_all2 Htrace.equal (measure ()) (measure ()));
+  ]
+
+(* --- Rotation identity ------------------------------------------------------------ *)
+
+let rotation_props =
+  [
+    test ~count:100 "rol then ror by the same count is the identity"
+      QCheck.(triple (oneofl Width.all) full_int64_gen (int_range 0 31))
+      (fun (w, v, count) ->
+        let s = State.create () in
+        State.set_reg s Reg.RAX Width.W64 v;
+        let flat =
+          Program.flatten_exn
+            (Program.of_insts
+               [
+                 Instruction.binop Opcode.Rol (Operand.reg ~w Reg.RAX)
+                   (Operand.imm count);
+                 Instruction.binop Opcode.Ror (Operand.reg ~w Reg.RAX)
+                   (Operand.imm count);
+               ])
+        in
+        ignore (Semantics.run flat s);
+        State.get_reg s Reg.RAX w = Word.zext w v);
+    test ~count:100 "movzx then downcast is the identity on the low bits"
+      QCheck.(pair full_int64_gen (oneofl [ Width.W8; Width.W16; Width.W32 ]))
+      (fun (v, ws) ->
+        let s = State.create () in
+        State.set_reg s Reg.RBX Width.W64 v;
+        let flat =
+          Program.flatten_exn
+            (Program.of_insts
+               [
+                 Instruction.binop Opcode.Movzx (Operand.reg Reg.RAX)
+                   (Operand.reg ~w:ws Reg.RBX);
+               ])
+        in
+        ignore (Semantics.run flat s);
+        State.get_reg s Reg.RAX Width.W64 = Word.zext ws v);
+  ]
+
+(* --- Input ---------------------------------------------------------------------- *)
+
+let input_props =
+  [
+    test "inputs are reproducible from their seed" seed_gen (fun seed ->
+        let i = { Input.seed; entropy = 2 } in
+        State.equal_arch (Input.to_state i) (Input.to_state i));
+    test "entropy bound holds" QCheck.(pair seed_gen (int_range 1 6))
+      (fun (seed, entropy) ->
+        let s = Input.to_state { Input.seed; entropy } in
+        List.for_all
+          (fun r ->
+            let v = State.get_reg s r Width.W64 in
+            Int64.unsigned_compare v (Int64.of_int ((1 lsl entropy) * 64)) < 0)
+          Reg.gen_pool);
+  ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("word_flags", word_props);
+      ("memory", memory_props);
+      ("cache_htrace", cache_props);
+      ("analyzer", analyzer_props);
+      ("generator", generator_props);
+      ("cpu_soundness", cpu_props);
+      ("input", input_props);
+      ("rotation", rotation_props);
+      ("executor", executor_props);
+    ]
