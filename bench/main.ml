@@ -147,7 +147,8 @@ let print_throughput () =
     "\nPaper: >200 test cases/hour on real hardware (with 50 inputs x 50\n\
      measurement repetitions each); the simulated CPU is faster, the\n\
      relevant reproduction target is that the pipeline sustains a steady\n\
-     test-case rate without detecting violations on the compliant target."
+     test-case rate without detecting violations on the compliant target.";
+  t
 
 (* --- Ablations ------------------------------------------------------------------ *)
 
@@ -266,16 +267,105 @@ let bechamel_suite () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let cell =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ t ] -> Printf.sprintf "%10.3f ms/run" (t /. 1e6)
-        | _ -> "(no estimate)"
-      in
-      rows := (name, cell) :: !rows)
+      match Analyze.OLS.estimates ols_result with
+      | Some [ t ] -> rows := (name, t /. 1e6) :: !rows
+      | _ -> ())
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, cell) -> Printf.printf "%-55s %s\n" name cell)
-    (List.sort compare !rows)
+    (fun (name, ms) -> Printf.printf "%-55s %10.3f ms/run\n" name ms)
+    rows;
+  rows
+
+(* --- BENCH_PR1.json machine-readable artifact ---------------------------- *)
+
+(* Pre-PR-1 numbers, measured on this machine at the seed commit with the
+   same Bechamel configuration (seed 1, quota 1s) and a FAST-mode (2s)
+   throughput run. Kept hardcoded so every later run reports its speedup
+   against the same fixed reference. *)
+let pr1_baseline_ms =
+  [
+    ("revizor/table3: generate+instrument one test case", 0.054);
+    ("revizor/table3: one contract trace (model)", 0.047);
+    ("revizor/table3/4: full pipeline, spectre-v1 x CT-SEQ", 68.610);
+    ("revizor/table5: full pipeline, spectre-v4 x CT-SEQ", 76.590);
+    ("revizor/sec 6.4: full pipeline, spec-store-eviction", 76.018);
+    ("revizor/sec 6.6: full pipeline, stt-speculative x ARCH-SEQ", 69.170);
+  ]
+
+(* (seconds, test_cases, cases_per_hour) of the seed-commit throughput run *)
+let pr1_baseline_throughput = (2.0, 83, 147762.)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json ~rows ~(throughput : Experiments.throughput) =
+  let path =
+    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR1.json"
+  in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let add_ms_table indent kvs =
+    List.iteri
+      (fun i (name, ms) ->
+        add "%s\"%s\": %.3f%s\n" indent (json_escape name) ms
+          (if i = List.length kvs - 1 then "" else ","))
+      kvs
+  in
+  let bl_sec, bl_tc, bl_cph = pr1_baseline_throughput in
+  add "{\n";
+  add "  \"pr\": 1,\n";
+  add "  \"seed\": %Ld,\n" seed;
+  add "  \"fast\": %b,\n" fast;
+  add "  \"baseline\": {\n";
+  add "    \"bechamel_ms_per_run\": {\n";
+  add_ms_table "      " pr1_baseline_ms;
+  add "    },\n";
+  add
+    "    \"throughput\": { \"seconds\": %.1f, \"test_cases\": %d, \
+     \"cases_per_hour\": %.0f }\n"
+    bl_sec bl_tc bl_cph;
+  add "  },\n";
+  add "  \"current\": {\n";
+  add "    \"bechamel_ms_per_run\": {\n";
+  add_ms_table "      " rows;
+  add "    },\n";
+  add
+    "    \"throughput\": { \"seconds\": %.1f, \"test_cases\": %d, \
+     \"inputs\": %d, \"cases_per_hour\": %.0f }\n"
+    throughput.Experiments.seconds throughput.Experiments.test_cases
+    throughput.Experiments.inputs throughput.Experiments.cases_per_hour;
+  add "  },\n";
+  add "  \"speedup\": {\n";
+  let speedups =
+    List.filter_map
+      (fun (name, ms) ->
+        match List.assoc_opt name pr1_baseline_ms with
+        | Some base when ms > 0. -> Some (name, base /. ms)
+        | _ -> None)
+      rows
+  in
+  List.iteri
+    (fun i (name, x) ->
+      add "    \"%s\": %.2f%s\n" (json_escape name) x
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  add "  }\n";
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n[wrote %s]\n%!" path
 
 let () =
   Printf.printf "Revizor reproduction benchmark harness (seed %Ld%s)\n%!" seed
@@ -290,9 +380,10 @@ let () =
   print_variants ();
   print_assumption ();
   print_sensitivity ();
-  print_throughput ();
+  let throughput = print_throughput () in
   print_port_channel ();
   print_ablations ();
   print_a6 ();
-  bechamel_suite ();
+  let rows = bechamel_suite () in
+  write_bench_json ~rows ~throughput;
   print_endline "\nDone."

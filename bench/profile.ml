@@ -1,0 +1,46 @@
+(* Component-level profiler for the per-test-case pipeline: wall-clock
+   per iteration of each hot-path piece (state materialization/restore,
+   CPU run, prime/probe, model run, measurement, full check). Used to
+   find the PR 1 bottlenecks (DESIGN.md §6); keep it for future perf
+   work — Bechamel only times whole workloads. *)
+open Revizor
+open Revizor_uarch
+
+let time label n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do f () done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-40s %8.3f us/iter (%d iters)\n%!" label (dt /. float n *. 1e6) n
+
+let () =
+  let seed = 1L in
+  let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target5 in
+  let cpu = Cpu.create cfg.Fuzzer.uarch in
+  let prng = Prng.create ~seed in
+  let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
+  let g = Gadgets.spectre_v1 in
+  let flat = Revizor_isa.Program.flatten_exn g.Gadgets.program in
+  let templates = Input.templates inputs in
+  let scratch = Revizor_emu.State.create () in
+  let input0 = List.hd inputs in
+  time "Input.to_state" 2000 (fun () -> ignore (Input.to_state input0));
+  time "State.copy_into" 20000 (fun () ->
+      Revizor_emu.State.copy_into templates.(0) ~dst:scratch);
+  time "Cpu.run (after restore)" 2000 (fun () ->
+      Revizor_emu.State.copy_into templates.(0) ~dst:scratch;
+      Cpu.run cpu flat scratch);
+  time "Cache.prime" 2000 (fun () -> Cache.prime (Cpu.cache cpu));
+  time "prime+probe observe" 2000 (fun () ->
+      ignore
+        (Attack.observe cpu cfg.Fuzzer.executor.Executor.threat (fun () -> ())));
+  time "observe+run" 2000 (fun () ->
+      ignore
+        (Attack.observe cpu cfg.Fuzzer.executor.Executor.threat (fun () ->
+             Revizor_emu.State.copy_into templates.(0) ~dst:scratch;
+             Cpu.run cpu flat scratch)));
+  time "Model.run" 2000 (fun () -> ignore (Model.run Contract.ct_seq flat input0));
+  let executor = Executor.create cpu cfg.Fuzzer.executor in
+  time "Executor.measure 50 inputs" 20 (fun () ->
+      ignore (Executor.measure ~templates executor flat inputs));
+  time "check_test_case" 20 (fun () ->
+      ignore (Fuzzer.check_test_case cfg executor g.Gadgets.program inputs))

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Smoke-mode benchmark run: skips the slow Tables 3-5, shortens the
+# Bechamel quota and the throughput window, and writes the machine-
+# readable before/after artifact (BENCH_PR1.json by default; override
+# with REVIZOR_BENCH_JSON). Suitable for CI.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+REVIZOR_BENCH_FAST=1 dune exec bench/main.exe "$@"

@@ -17,24 +17,26 @@ let check t addr width =
   then raise (Fault addr);
   Int64.to_int off
 
+(* Little-endian accessors: single (unaligned) machine loads and stores
+   instead of per-byte Int64 shifting — these run on every emulated memory
+   access of both the model and the executor. *)
+
 let read t ~addr width =
   let off = check t addr width in
-  let v = ref 0L in
-  for k = Width.bytes width - 1 downto 0 do
-    v :=
-      Int64.logor (Int64.shift_left !v 8)
-        (Int64.of_int (Char.code (Bytes.get t.data (off + k))))
-  done;
-  !v
+  match width with
+  | Width.W8 -> Int64.of_int (Bytes.get_uint8 t.data off)
+  | Width.W16 -> Int64.of_int (Bytes.get_uint16_le t.data off)
+  | Width.W32 ->
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data off)) 0xFFFF_FFFFL
+  | Width.W64 -> Bytes.get_int64_le t.data off
 
 let write t ~addr width v =
   let off = check t addr width in
-  for k = 0 to Width.bytes width - 1 do
-    let byte =
-      Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xFFL)
-    in
-    Bytes.set t.data (off + k) (Char.chr byte)
-  done
+  match width with
+  | Width.W8 -> Bytes.set_uint8 t.data off (Int64.to_int v land 0xFF)
+  | Width.W16 -> Bytes.set_uint16_le t.data off (Int64.to_int v land 0xFFFF)
+  | Width.W32 -> Bytes.set_int32_le t.data off (Int64.to_int32 v)
+  | Width.W64 -> Bytes.set_int64_le t.data off v
 
 let read_byte t off = Char.code (Bytes.get t.data off)
 let write_byte t off v = Bytes.set t.data off (Char.chr (v land 0xFF))
@@ -48,4 +50,5 @@ let fill t ~f =
 let snapshot t = Bytes.copy t.data
 let restore t snap = Bytes.blit snap 0 t.data 0 (Bytes.length t.data)
 let copy t = { data = Bytes.copy t.data }
+let blit_into src ~dst = Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)
 let equal a b = Bytes.equal a.data b.data

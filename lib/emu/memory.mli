@@ -28,4 +28,9 @@ val fill : t -> f:(int -> int) -> unit
 val snapshot : t -> bytes
 val restore : t -> bytes -> unit
 val copy : t -> t
+
+val blit_into : t -> dst:t -> unit
+(** Overwrite [dst] with [src]'s contents: one flat blit, the fast-restore
+    path for cached input-state templates. *)
+
 val equal : t -> t -> bool

@@ -36,6 +36,12 @@ let restore t s =
 let copy t =
   { regs = Array.copy t.regs; flags = t.flags; mem = Memory.copy t.mem; pc = t.pc }
 
+let copy_into src ~dst =
+  Array.blit src.regs 0 dst.regs 0 16;
+  dst.flags <- src.flags;
+  Memory.blit_into src.mem ~dst:dst.mem;
+  dst.pc <- src.pc
+
 let equal_arch a b =
   a.regs = b.regs && Flags.equal a.flags b.flags && Memory.equal a.mem b.mem
 

@@ -26,6 +26,13 @@ val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 val copy : t -> t
 
+val copy_into : t -> dst:t -> unit
+(** Overwrite [dst] with [src] (registers, flags, memory, pc) without
+    allocating: blits into [dst]'s existing buffers. This is the
+    fast-restore path for cached input-state templates — materialize a
+    state once (e.g. from an input's PRNG stream), then restore it into a
+    scratch state before every measurement instead of re-deriving it. *)
+
 val equal_arch : t -> t -> bool
 (** Equality of registers, flags and memory (pc ignored). *)
 

@@ -10,6 +10,10 @@ type candidate = {
   htrace_b : Htrace.t;
 }
 
+(* Mutable accumulator: members are consed in reverse and the bucket is
+   never rebuilt — one hash lookup and one cons per input. *)
+type acc = { a_ctrace : Ctrace.t; mutable rev_members : int list }
+
 let input_classes ctraces =
   let tbl = Hashtbl.create 16 in
   let order = ref [] in
@@ -18,35 +22,19 @@ let input_classes ctraces =
       let key = Ctrace.hash ct in
       let bucket = try Hashtbl.find tbl key with Not_found -> [] in
       (* Hash collisions are resolved by trace equality. *)
-      match List.assoc_opt ct (List.map (fun c -> (c.ctrace, c)) bucket) with
-      | Some _ ->
-          let bucket =
-            List.map
-              (fun c ->
-                if Ctrace.equal c.ctrace ct then
-                  { c with members = idx :: c.members }
-                else c)
-              bucket
-          in
-          Hashtbl.replace tbl key bucket
+      match List.find_opt (fun a -> Ctrace.equal a.a_ctrace ct) bucket with
+      | Some a -> a.rev_members <- idx :: a.rev_members
       | None ->
-          let cls = { ctrace = ct; members = [ idx ] } in
-          Hashtbl.replace tbl key (cls :: bucket);
-          order := (key, ct) :: !order)
+          let a = { a_ctrace = ct; rev_members = [ idx ] } in
+          Hashtbl.replace tbl key (a :: bucket);
+          order := a :: !order)
     ctraces;
-  let classes =
-    List.rev_map
-      (fun (key, ct) ->
-        let bucket = Hashtbl.find tbl key in
-        List.find (fun c -> Ctrace.equal c.ctrace ct) bucket)
-      !order
-  in
   List.filter_map
-    (fun c ->
-      match c.members with
+    (fun a ->
+      match a.rev_members with
       | [] | [ _ ] -> None
-      | ms -> Some { c with members = List.rev ms })
-    classes
+      | ms -> Some { ctrace = a.a_ctrace; members = List.rev ms })
+    (List.rev !order)
 
 let effective_inputs classes =
   List.fold_left (fun acc c -> acc + List.length c.members) 0 classes

@@ -22,9 +22,9 @@ let default_config ?(threat = Attack.prime_probe) () =
     reset_between_inputs = false;
   }
 
-type t = { cpu : Cpu.t; cfg : config }
+type t = { cpu : Cpu.t; cfg : config; scratch : Revizor_emu.State.t }
 
-let create cpu cfg = { cpu; cfg }
+let create cpu cfg = { cpu; cfg; scratch = Revizor_emu.State.create () }
 let cpu t = t.cpu
 let config t = t.cfg
 
@@ -55,25 +55,30 @@ let apply_noise cfg trace =
       end;
       !trace
 
+let last_data_word =
+  Int64.add Revizor_emu.Layout.sandbox_base
+    (Int64.of_int
+       ((Revizor_emu.Layout.data_pages * Revizor_emu.Layout.page_size) - 8))
+
 (* One pass over the input sequence; the CPU session is NOT reset, so
-   predictors carry over from input to input (priming). *)
-let run_sequence t flat inputs ~record =
-  List.iteri
-    (fun idx input ->
+   predictors carry over from input to input (priming). Each input's
+   state was materialized once into [templates]; every run blit-restores
+   the template into the executor's scratch state instead of re-deriving
+   the PRNG stream (a sequence runs many times: warm-up rounds,
+   measurement repetitions and swap-check re-measurements). *)
+let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
+  Array.iteri
+    (fun idx template ->
       if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
-      let state = Input.to_state input in
+      Revizor_emu.State.copy_into template ~dst:t.scratch;
       (* Loading the input into the sandbox moves the input's own data
          through the memory system: the fill buffers hold it afterwards. *)
-      let last_word =
-        Int64.add Revizor_emu.Layout.sandbox_base
-          (Int64.of_int ((Revizor_emu.Layout.data_pages * Revizor_emu.Layout.page_size) - 8))
-      in
       Cpu.set_fill_buffer t.cpu
-        (Revizor_emu.Memory.read state.Revizor_emu.State.mem ~addr:last_word
-           Revizor_isa.Width.W64);
+        (Revizor_emu.Memory.read template.Revizor_emu.State.mem
+           ~addr:last_data_word Revizor_isa.Width.W64);
       let trace =
         Attack.observe t.cpu t.cfg.threat (fun () ->
-            Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat state)
+            Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
       in
       let trace = apply_noise t.cfg trace in
       let events =
@@ -86,53 +91,56 @@ let run_sequence t flat inputs ~record =
           (Cpu.events t.cpu)
       in
       record idx trace events)
-    inputs
+    templates
 
-let measure t flat inputs =
-  let n = List.length inputs in
+let templates_of inputs = function
+  | Some tpl -> tpl
+  | None -> Input.templates inputs
+
+let measure ?templates t flat inputs =
+  let templates = templates_of inputs templates in
+  let n = Array.length templates in
   Cpu.reset_session t.cpu;
   for _ = 1 to t.cfg.warmup_rounds do
-    run_sequence t flat inputs ~record:(fun _ _ _ -> ())
+    run_sequence t flat templates ~record:(fun _ _ _ -> ())
   done;
-  let counts = Array.make n [] (* (observation, count) assoc *) in
+  (* Per-input occurrence counts over the (small, dense) trace domain: a
+     flat increment per observation instead of an assoc-list rebuild. *)
+  let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
+  let counts = Array.make_matrix n domain 0 in
   let events = Array.make n [] in
   for _ = 1 to max 1 t.cfg.measurement_reps do
-    run_sequence t flat inputs ~record:(fun idx trace evs ->
-        let bump assoc o =
-          let c = try List.assoc o assoc with Not_found -> 0 in
-          (o, c + 1) :: List.remove_assoc o assoc
-        in
-        counts.(idx) <- List.fold_left bump counts.(idx) (Htrace.elements trace);
+    run_sequence t flat templates ~record:(fun idx trace evs ->
+        let row = counts.(idx) in
+        Htrace.iter (fun o -> row.(o) <- row.(o) + 1) trace;
         events.(idx) <- evs @ events.(idx))
   done;
   let threshold =
     if t.cfg.measurement_reps >= 3 then t.cfg.outlier_min else 1
   in
   Array.init n (fun idx ->
-      let htrace =
-        List.fold_left
-          (fun acc (o, c) -> if c >= threshold then Htrace.add o acc else acc)
-          Htrace.empty counts.(idx)
-      in
+      let htrace = ref Htrace.empty in
+      Array.iteri
+        (fun o c -> if c >= threshold then htrace := Htrace.add o !htrace)
+        counts.(idx);
       let evs = List.sort_uniq Stdlib.compare events.(idx) in
       let ks = List.sort_uniq Stdlib.compare (List.map fst evs) in
-      { htrace; kinds = ks; events = evs })
+      { htrace = !htrace; kinds = ks; events = evs })
 
-let htraces t flat inputs =
-  Array.map (fun m -> m.htrace) (measure t flat inputs)
+let htraces ?templates t flat inputs =
+  Array.map (fun m -> m.htrace) (measure ?templates t flat inputs)
 
-let replace l idx v = List.mapi (fun i x -> if i = idx then v else x) l
-
-let swap_check t flat inputs a b =
-  let arr = Array.of_list inputs in
-  let input_a = arr.(a) and input_b = arr.(b) in
+let swap_check ?templates t flat inputs a b =
+  let templates = templates_of inputs templates in
   (* i_b measured in i_a's context slot... *)
-  let seq_b_at_a = replace inputs a input_b in
+  let seq_b_at_a = Array.copy templates in
+  seq_b_at_a.(a) <- templates.(b);
   (* ... and i_a measured in i_b's context slot. *)
-  let seq_a_at_b = replace inputs b input_a in
-  let base = htraces t flat inputs in
-  let m1 = htraces t flat seq_b_at_a in
-  let m2 = htraces t flat seq_a_at_b in
+  let seq_a_at_b = Array.copy templates in
+  seq_a_at_b.(b) <- templates.(a);
+  let base = htraces ~templates t flat inputs in
+  let m1 = htraces ~templates:seq_b_at_a t flat inputs in
+  let m2 = htraces ~templates:seq_a_at_b t flat inputs in
   (* Artifact iff swapping contexts makes the traces agree both ways. *)
   let artifact =
     Htrace.comparable m1.(a) base.(a) && Htrace.comparable m2.(b) base.(b)

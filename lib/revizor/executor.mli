@@ -54,13 +54,37 @@ type measurement = {
           diverging observations *)
 }
 
-val measure : t -> Program.flat -> Input.t list -> measurement array
+val measure :
+  ?templates:Revizor_emu.State.t array ->
+  t ->
+  Program.flat ->
+  Input.t list ->
+  measurement array
 (** Reset the CPU session, run warm-ups, then the measured reps. The
-    result is indexed like the input list. *)
+    result is indexed like the input list.
 
-val htraces : t -> Program.flat -> Input.t list -> Htrace.t array
+    [templates] (from {!Input.templates}, indexed like the input list)
+    lets the caller materialize each input's architectural state once per
+    test case; every warm-up round and repetition then restores the
+    template with a flat blit instead of regenerating the input's PRNG
+    stream. Omitted, the templates are built internally (one state per
+    input per call). *)
 
-val swap_check : t -> Program.flat -> Input.t list -> int -> int -> bool
+val htraces :
+  ?templates:Revizor_emu.State.t array ->
+  t ->
+  Program.flat ->
+  Input.t list ->
+  Htrace.t array
+
+val swap_check :
+  ?templates:Revizor_emu.State.t array ->
+  t ->
+  Program.flat ->
+  Input.t list ->
+  int ->
+  int ->
+  bool
 (** [swap_check t flat inputs a b] re-measures with inputs [a] and [b]
     exchanged in the priming sequence. Returns [true] if the trace
     divergence persists under the swapped contexts (a genuine violation),

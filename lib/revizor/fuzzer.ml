@@ -10,9 +10,10 @@ type config = {
   entropy : int;
   round_length : int;
   seed : int64;
+  model_domains : int;
 }
 
-let default_config ?(seed = 1L) contract uarch executor =
+let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
   {
     contract;
     uarch;
@@ -22,6 +23,7 @@ let default_config ?(seed = 1L) contract uarch executor =
     entropy = 2;
     round_length = 25;
     seed;
+    model_domains;
   }
 
 type stats = {
@@ -56,14 +58,22 @@ let fresh_stats () =
 type outcome = Violation of Violation.t | No_violation
 type budget = Test_cases of int | Seconds of float
 
+(* Contract traces, fanned out over the model pool when one is given. A
+   missing pool (or a pool of size 1) is the exact sequential path. *)
+let model_ctraces ?pool ?templates contract flat inputs =
+  match pool with
+  | Some p -> Model.ctraces_par ?templates p contract flat inputs
+  | None -> Model.ctraces ?templates contract flat inputs
+
 (* The nesting re-check (§5.4): recompute contract traces with nested
    speculation enabled; the violating pair must still share a class and
    still diverge. *)
-let nesting_recheck config flat inputs measurements (cand : Analyzer.candidate) =
+let nesting_recheck ?pool ?templates config flat inputs measurements
+    (cand : Analyzer.candidate) =
   if config.contract.Contract.nesting then true
   else begin
     let nested = Contract.with_nesting config.contract in
-    let results = Model.ctraces nested flat inputs in
+    let results = model_ctraces ?pool ?templates nested flat inputs in
     if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
     else
       let ctraces =
@@ -94,12 +104,19 @@ type checked = {
   dismissed_nesting : bool;
 }
 
-let check_test_case_full config executor program inputs :
+let check_test_case_full ?pool config executor program inputs :
     (checked, string) result =
   match Program.flatten program with
   | Error msg -> Error msg
   | Ok flat -> (
-      let results = Model.ctraces config.contract flat inputs in
+      (* Materialize each input's architectural state exactly once per
+         test case; the model passes, the executor's warm-up/measurement
+         repetitions and the swap-check re-measurements all blit-restore
+         these templates. *)
+      let templates = Input.templates inputs in
+      let results =
+        model_ctraces ?pool ~templates config.contract flat inputs
+      in
       if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
         Error "architectural fault"
       else
@@ -128,7 +145,7 @@ let check_test_case_full config executor program inputs :
         in
         if classes = [] then no_violation ()
         else
-          let measurements = Executor.measure executor flat inputs in
+          let measurements = Executor.measure ~templates executor flat inputs in
           let htraces =
             Array.map
               (fun (m : Executor.measurement) -> m.Executor.htrace)
@@ -150,12 +167,14 @@ let check_test_case_full config executor program inputs :
                   let pair = (cand.Analyzer.index_a, cand.Analyzer.index_b) in
                   if
                     not
-                      (Executor.swap_check executor flat inputs
+                      (Executor.swap_check ~templates executor flat inputs
                          cand.Analyzer.index_a cand.Analyzer.index_b)
                   then
                     hunt (pair :: excluding) (attempts - 1) ~swapped:true ~nested
                   else if
-                    not (nesting_recheck config flat inputs measurements cand)
+                    not
+                      (nesting_recheck ?pool ~templates config flat inputs
+                         measurements cand)
                   then
                     hunt (pair :: excluding) (attempts - 1) ~swapped ~nested:true
                   else confirm cand
@@ -213,14 +232,18 @@ let check_test_case_full config executor program inputs :
           in
           hunt [] 5 ~swapped:false ~nested:false)
 
-let check_test_case config executor program inputs =
+let check_test_case ?pool config executor program inputs =
   Result.map (fun c -> c.violation)
-    (check_test_case_full config executor program inputs)
+    (check_test_case_full ?pool config executor program inputs)
 
 let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
   let prng = Prng.create ~seed:config.seed in
   let cpu = Cpu.create config.uarch in
   let executor = Executor.create cpu config.executor in
+  let pool =
+    if config.model_domains > 1 then Some (Pool.create config.model_domains)
+    else None
+  in
   let stats = fresh_stats () in
   let coverage = Coverage.create () in
   let started = Unix.gettimeofday () in
@@ -236,6 +259,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
     | Seconds s -> Unix.gettimeofday () -. started >= s
   in
   let result = ref No_violation in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   while !result = No_violation && not (exhausted ()) do
     stats.test_cases <- stats.test_cases + 1;
     in_round := !in_round + 1;
@@ -244,7 +268,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
       Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
     in
     stats.inputs_tested <- stats.inputs_tested + List.length inputs;
-    (match check_test_case_full config executor program inputs with
+    (match check_test_case_full ?pool config executor program inputs with
     | Error _ -> stats.faulted_test_cases <- stats.faulted_test_cases + 1
     | Ok checked ->
         stats.effective_inputs <- stats.effective_inputs + checked.effective;

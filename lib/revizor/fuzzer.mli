@@ -14,12 +14,25 @@ type config = {
   entropy : int;  (** PRNG entropy bits for input generation *)
   round_length : int;  (** test cases per round *)
   seed : int64;
+  model_domains : int;
+      (** size of the domain pool for the model stage: the contract traces
+          of a test case's inputs are computed in parallel when [> 1].
+          The executor stage stays sequential regardless (priming makes
+          the measurement order-dependent). Results are identical for
+          every value; 1 (the default) runs the plain sequential path
+          with no pool at all. *)
 }
 
 val default_config :
-  ?seed:int64 -> Contract.t -> Uarch_config.t -> Executor.config -> config
+  ?seed:int64 ->
+  ?model_domains:int ->
+  Contract.t ->
+  Uarch_config.t ->
+  Executor.config ->
+  config
 (** Paper's starting point: 8 instructions / 2 blocks / 2 memory accesses,
-    2 entropy bits, 50 inputs, rounds of 25 test cases. *)
+    2 entropy bits, 50 inputs, rounds of 25 test cases, sequential model
+    stage ([model_domains = 1]). *)
 
 type stats = {
   mutable test_cases : int;
@@ -59,6 +72,7 @@ val fuzz_parallel :
     winning violation (if any) and the per-domain statistics. *)
 
 val check_test_case :
+  ?pool:Pool.t ->
   config ->
   Executor.t ->
   Revizor_isa.Program.t ->
@@ -66,6 +80,7 @@ val check_test_case :
   (Violation.t option, string) result
 (** The per-test-case pipeline on its own (used by the postprocessor, the
     gadget experiments of Table 5, and the tests). [Error] means the test
-    case faulted architecturally. *)
+    case faulted architecturally. [pool] parallelizes the model stage
+    (see {!type:config}[.model_domains]); {!fuzz} manages its own pool. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -42,5 +42,7 @@ let to_state t =
   apply t state;
   state
 
+let templates inputs = Array.of_list (List.map to_state inputs)
+
 let equal (a : t) (b : t) = a = b
 let pp fmt t = Format.fprintf fmt "input(seed=0x%Lx, entropy=%d)" t.seed t.entropy

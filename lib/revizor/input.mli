@@ -21,5 +21,12 @@ val apply : t -> State.t -> unit
 val to_state : t -> State.t
 (** Fresh architectural state initialized from the input. *)
 
+val templates : t list -> State.t array
+(** Materialize each input's state once, indexed like the list. The model
+    and executor restore these templates into scratch states with
+    {!State.copy_into} (a flat blit) instead of regenerating the PRNG
+    stream for every warm-up round, measurement repetition and swap-check
+    re-measurement. Templates must not be mutated by callers. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -11,8 +11,7 @@ type result = { ctrace : Ctrace.t; stream : step_record list; faulted : bool }
 
 let max_nesting_depth = 4
 
-let run ?(max_steps = 4096) (contract : Contract.t) flat input =
-  let state = Input.to_state input in
+let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t) =
   let code_len = Array.length flat.Program.code in
   let obs = ref [] in
   let stream = ref [] in
@@ -112,5 +111,38 @@ let run ?(max_steps = 4096) (contract : Contract.t) flat input =
   walk ~depth:0 max_steps;
   { ctrace = List.rev !obs; stream = List.rev !stream; faulted = !faulted }
 
-let ctraces ?max_steps contract flat inputs =
-  List.map (run ?max_steps contract flat) inputs
+let run ?max_steps contract flat input =
+  run_state ?max_steps contract flat (Input.to_state input)
+
+let ctraces ?max_steps ?templates contract flat inputs =
+  match templates with
+  | None -> List.map (run ?max_steps contract flat) inputs
+  | Some tpl ->
+      (* One scratch state, restored from each input's template by a flat
+         blit instead of regenerating the PRNG stream. *)
+      let scratch = State.create () in
+      List.mapi
+        (fun i _ ->
+          State.copy_into tpl.(i) ~dst:scratch;
+          run_state ?max_steps contract flat scratch)
+        inputs
+
+let ctraces_par ?max_steps ?templates pool contract flat inputs =
+  if Pool.size pool <= 1 then ctraces ?max_steps ?templates contract flat inputs
+  else
+    let arr = Array.of_list inputs in
+    let indices = Array.init (Array.length arr) Fun.id in
+    let results =
+      Pool.map_array pool
+        (fun i ->
+          (* Each task gets a private state: templates are shared read-only
+             across domains, never executed on directly. *)
+          let state =
+            match templates with
+            | Some tpl -> State.copy tpl.(i)
+            | None -> Input.to_state arr.(i)
+          in
+          run_state ?max_steps contract flat state)
+        indices
+    in
+    Array.to_list results

@@ -32,5 +32,33 @@ val run : ?max_steps:int -> Contract.t -> Program.flat -> Input.t -> result
     speculative exploration merely end the exploration; faults on the
     architectural path set [faulted]. *)
 
+val run_state :
+  ?max_steps:int -> Contract.t -> Program.flat -> State.t -> result
+(** Like {!run}, but on an already-materialized initial state (mutated in
+    place). [run contract flat input] is
+    [run_state contract flat (Input.to_state input)]. *)
+
 val ctraces :
-  ?max_steps:int -> Contract.t -> Program.flat -> Input.t list -> result list
+  ?max_steps:int ->
+  ?templates:State.t array ->
+  Contract.t ->
+  Program.flat ->
+  Input.t list ->
+  result list
+(** Contract traces for each input in order. When [templates] (from
+    {!Input.templates}, indexed like the list) is given, each run starts
+    from a blit-restore of the corresponding template instead of
+    re-deriving the state from the input's PRNG seed. *)
+
+val ctraces_par :
+  ?max_steps:int ->
+  ?templates:State.t array ->
+  Pool.t ->
+  Contract.t ->
+  Program.flat ->
+  Input.t list ->
+  result list
+(** {!ctraces} with the independent per-input runs fanned out over a
+    domain pool. The result is identical (same values, same order) for
+    every pool size; a pool of size 1 takes the exact sequential
+    {!ctraces} path. *)

@@ -1,0 +1,106 @@
+(* A small reusable domain pool for intra-test-case parallelism.
+
+   [size - 1] worker domains block on a task queue; the submitting domain
+   participates in the work itself, so a pool of size 1 spawns nothing and
+   degenerates to plain sequential execution. Work items are index ranges
+   handed out through an atomic counter, which keeps the scheduling
+   deterministic-by-index: results land in slot [i] no matter which domain
+   computed them. *)
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker p =
+  let rec loop () =
+    Mutex.lock p.lock;
+    while Queue.is_empty p.queue && not p.stopped do
+      Condition.wait p.nonempty p.lock
+    done;
+    if Queue.is_empty p.queue then Mutex.unlock p.lock (* stopped *)
+    else begin
+      let task = Queue.pop p.queue in
+      Mutex.unlock p.lock;
+      task ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  let size = max 1 size in
+  let p =
+    {
+      size;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    p.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let size p = p.size
+
+let submit p task =
+  Mutex.lock p.lock;
+  Queue.push task p.queue;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.lock
+
+let map_array p f arr =
+  let n = Array.length arr in
+  if p.size <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    (* Every participant drains indices until none are left; exceptions
+       are captured per item and re-raised after the barrier so a failing
+       task cannot deadlock the pool. *)
+    let drain () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          (results.(i) <-
+             (match f arr.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          Atomic.decr remaining
+        end
+      done
+    in
+    for _ = 1 to min (p.size - 1) (n - 1) do
+      submit p drain
+    done;
+    drain ();
+    while Atomic.get remaining > 0 do
+      Domain.cpu_relax ()
+    done;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let shutdown p =
+  if p.workers <> [] then begin
+    Mutex.lock p.lock;
+    p.stopped <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.lock;
+    List.iter Domain.join p.workers;
+    p.workers <- []
+  end

@@ -1,0 +1,32 @@
+(** A small reusable pool of OCaml 5 domains for intra-test-case
+    parallelism (the contract traces of a test case's N inputs are
+    independent, so the model stage fans them out across idle cores while
+    the executor stage — whose priming sequence is order-dependent — stays
+    sequential).
+
+    A pool of size [n] spawns [n - 1] worker domains; the caller's domain
+    participates in every {!map_array}, so [create 1] spawns nothing and
+    behaves exactly like sequential execution. Pools are cheap to keep
+    around and are meant to live for a whole fuzzing campaign; call
+    {!shutdown} when done. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts a pool of parallelism [n] (clamped to at least 1),
+    spawning [n - 1] worker domains. *)
+
+val size : t -> int
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array p f arr] computes [Array.map f arr] with the elements
+    distributed over the pool's domains. Results are placed by index, so
+    the output is identical to the sequential map regardless of pool size
+    (provided [f] is pure up to its index). If [f] raises on some element,
+    the first such exception (in index order) is re-raised after all
+    elements have been attempted. Do not call concurrently from multiple
+    domains on the same pool. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards;
+    idempotent. *)

@@ -1,28 +1,108 @@
-module S = Set.Make (Int)
+(* Fixed-width bitset over the observation domain [0, 128).
 
-type t = S.t
+   Traces are the single most-executed data structure of the pipeline:
+   every probe, every noise flip, every analyzer pair comparison and every
+   swap-check goes through [union]/[inter]/[subset]/[comparable]/[equal].
+   The previous balanced-tree representation (Set.Make (Int)) made each of
+   those a tree walk with allocation; here they are 2-4 machine logical
+   ops on immutable native-int words.
 
-let empty = S.empty
-let singleton = S.singleton
-let of_list = S.of_list
-let add = S.add
-let union = S.union
-let inter = S.inter
-let subset = S.subset
-let equal = S.equal
-let compare = S.compare
-let is_empty = S.is_empty
-let cardinal = S.cardinal
-let elements = S.elements
-let mem = S.mem
-let diff = S.diff
+   Layout: three 63-bit OCaml ints cover bits 0..62 (w0), 63..125 (w1) and
+   126..127 (w2). 128 bits is exactly the largest trace domain in use
+   (Attack.trace_domain: 64 Prime+Probe sets, 128 Flush/Evict+Reload
+   lines, 64 port-contention buckets). *)
+
+type t = { w0 : int; w1 : int; w2 : int }
+
+let width = 128
+
+let empty = { w0 = 0; w1 = 0; w2 = 0 }
+
+let check i =
+  if i < 0 || i >= width then
+    invalid_arg (Printf.sprintf "Htrace: observation %d outside [0, %d)" i width)
+
+let singleton i =
+  check i;
+  if i < 63 then { empty with w0 = 1 lsl i }
+  else if i < 126 then { empty with w1 = 1 lsl (i - 63) }
+  else { empty with w2 = 1 lsl (i - 126) }
+
+let add i t =
+  check i;
+  if i < 63 then { t with w0 = t.w0 lor (1 lsl i) }
+  else if i < 126 then { t with w1 = t.w1 lor (1 lsl (i - 63)) }
+  else { t with w2 = t.w2 lor (1 lsl (i - 126)) }
+
+let mem i t =
+  i >= 0 && i < width
+  &&
+  if i < 63 then t.w0 land (1 lsl i) <> 0
+  else if i < 126 then t.w1 land (1 lsl (i - 63)) <> 0
+  else t.w2 land (1 lsl (i - 126)) <> 0
+
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+let union a b = { w0 = a.w0 lor b.w0; w1 = a.w1 lor b.w1; w2 = a.w2 lor b.w2 }
+let inter a b = { w0 = a.w0 land b.w0; w1 = a.w1 land b.w1; w2 = a.w2 land b.w2 }
+
+let diff a b =
+  {
+    w0 = a.w0 land lnot b.w0;
+    w1 = a.w1 land lnot b.w1;
+    w2 = a.w2 land lnot b.w2;
+  }
+
+let subset a b =
+  a.w0 land lnot b.w0 = 0 && a.w1 land lnot b.w1 = 0 && a.w2 land lnot b.w2 = 0
+
+let equal a b = a.w0 = b.w0 && a.w1 = b.w1 && a.w2 = b.w2
+let is_empty t = t.w0 = 0 && t.w1 = 0 && t.w2 = 0
 let comparable a b = subset a b || subset b a
+
+(* Any total order works: no caller depends on the ordering itself. *)
+let compare a b =
+  let c = Int.compare a.w0 b.w0 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.w1 b.w1 in
+    if c <> 0 then c else Int.compare a.w2 b.w2
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal t = popcount t.w0 + popcount t.w1 + popcount t.w2
+
+let iter_word f base w =
+  let w = ref w in
+  while !w <> 0 do
+    let low = !w land - !w in
+    (* index of the lowest set bit *)
+    let rec idx bit n = if bit = 1 then n else idx (bit lsr 1) (n + 1) in
+    f (base + idx low 0);
+    w := !w land lnot low
+  done
+
+let iter f t =
+  iter_word f 0 t.w0;
+  iter_word f 63 t.w1;
+  iter_word f 126 t.w2
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let max_elt_opt t =
+  fold (fun i _ -> Some i) t None
 
 let pp_wide ~width fmt t =
   for i = 0 to width - 1 do
-    Format.pp_print_char fmt (if S.mem i t then '1' else '0')
+    Format.pp_print_char fmt (if mem i t then '1' else '0')
   done
 
 let pp fmt t =
-  let width = match S.max_elt_opt t with Some m when m >= 64 -> 128 | _ -> 64 in
+  let width = match max_elt_opt t with Some m when m >= 64 -> 128 | _ -> 64 in
   pp_wide ~width fmt t

@@ -5,9 +5,20 @@
     Traces are sets rather than sequences because the executor probes the
     final cache state once, after the execution (§7 "Granularity of
     measurements"). The analyzer compares them with the subset relation
-    (§5.5). *)
+    (§5.5).
+
+    Representation: a fixed-width 128-bit bitset (immutable native-int
+    words), sized to the largest {!Attack.trace_domain} (128
+    Flush/Evict+Reload lines; Prime+Probe and port-contention use 64).
+    Set algebra is a handful of machine logical ops — this is the hottest
+    data structure of the whole pipeline. Observations must lie in
+    [0, 128): {!singleton}, {!add} and {!of_list} raise [Invalid_argument]
+    otherwise. *)
 
 type t
+
+val width : int
+(** Bitset capacity (128). Valid observations are [0 .. width - 1]. *)
 
 val empty : t
 val singleton : int -> t
@@ -23,6 +34,11 @@ val cardinal : t -> int
 val elements : t -> int list
 val mem : int -> t -> bool
 val diff : t -> t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Apply to each element in increasing order (no intermediate list). *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val comparable : t -> t -> bool
 (** [comparable a b] iff [subset a b || subset b a]: the analyzer's

@@ -322,6 +322,105 @@ let rotation_props =
         State.get_reg s Reg.RAX Width.W64 = Word.zext ws v);
   ]
 
+(* --- Htrace bitset vs the reference Set.Make(Int) --------------------------------- *)
+
+module IntSet = Set.Make (Int)
+
+let obs_gen = QCheck.int_range 0 (Htrace.width - 1)
+let obs_list_gen = QCheck.(list_of_size (Gen.int_range 0 40) obs_gen)
+
+let htrace_bitset_props =
+  [
+    test "of_list/elements agree with the reference set" obs_list_gen (fun l ->
+        Htrace.elements (Htrace.of_list l) = IntSet.elements (IntSet.of_list l));
+    test "union/inter/diff agree with the reference set"
+      QCheck.(pair obs_list_gen obs_list_gen)
+      (fun (a, b) ->
+        let ha = Htrace.of_list a and hb = Htrace.of_list b in
+        let sa = IntSet.of_list a and sb = IntSet.of_list b in
+        Htrace.elements (Htrace.union ha hb)
+        = IntSet.elements (IntSet.union sa sb)
+        && Htrace.elements (Htrace.inter ha hb)
+           = IntSet.elements (IntSet.inter sa sb)
+        && Htrace.elements (Htrace.diff ha hb)
+           = IntSet.elements (IntSet.diff sa sb));
+    test "subset/equal/mem/cardinal agree with the reference set"
+      QCheck.(triple obs_list_gen obs_list_gen obs_gen)
+      (fun (a, b, x) ->
+        let ha = Htrace.of_list a and hb = Htrace.of_list b in
+        let sa = IntSet.of_list a and sb = IntSet.of_list b in
+        Htrace.subset ha hb = IntSet.subset sa sb
+        && Htrace.equal ha hb = IntSet.equal sa sb
+        && Htrace.mem x ha = IntSet.mem x sa
+        && Htrace.cardinal ha = IntSet.cardinal sa
+        && Htrace.is_empty ha = IntSet.is_empty sa);
+    test "add/iter/fold agree with the reference set"
+      QCheck.(pair obs_list_gen obs_gen)
+      (fun (l, x) ->
+        let h = Htrace.add x (Htrace.of_list l) in
+        let s = IntSet.add x (IntSet.of_list l) in
+        Htrace.elements h = IntSet.elements s
+        && Htrace.fold List.cons h [] = IntSet.fold List.cons s []
+        &&
+        let acc = ref [] in
+        Htrace.iter (fun i -> acc := i :: !acc) h;
+        !acc = IntSet.fold List.cons s []);
+    test "compare is antisymmetric and consistent with equal"
+      QCheck.(pair obs_list_gen obs_list_gen)
+      (fun (a, b) ->
+        let ha = Htrace.of_list a and hb = Htrace.of_list b in
+        compare (Htrace.compare ha hb) 0 = -compare (Htrace.compare hb ha) 0
+        && Htrace.equal ha hb = (Htrace.compare ha hb = 0));
+    test ~count:20 "out-of-range observations raise"
+      QCheck.(oneofl [ -1; -63; Htrace.width; Htrace.width + 5; max_int ])
+      (fun i ->
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | (_ : Htrace.t) -> false
+        in
+        raises (fun () -> Htrace.singleton i)
+        && raises (fun () -> Htrace.add i Htrace.empty)
+        && raises (fun () -> Htrace.of_list [ 0; i ]));
+  ]
+
+(* --- Input-state templates: copy_into restores exactly ----------------------------- *)
+
+let template_props =
+  [
+    test ~count:100 "copy_into-restored scratch equals a fresh to_state"
+      QCheck.(triple seed_gen seed_gen (int_range 1 6))
+      (fun (seed_a, seed_b, entropy) ->
+        let input = { Input.seed = seed_a; entropy } in
+        let tpl = Input.to_state input in
+        (* dirty the scratch with a different input's state first *)
+        let scratch = Input.to_state { Input.seed = seed_b; entropy } in
+        State.copy_into tpl ~dst:scratch;
+        let fresh = Input.to_state input in
+        State.equal_arch scratch fresh && scratch.State.pc = fresh.State.pc);
+    test ~count:30 "restoring does not disturb the template itself"
+      QCheck.(pair seed_gen seed_gen)
+      (fun (seed_a, seed_b) ->
+        let input = { Input.seed = seed_a; entropy = 3 } in
+        let tpl = Input.to_state input in
+        let scratch = Input.to_state { Input.seed = seed_b; entropy = 3 } in
+        State.copy_into tpl ~dst:scratch;
+        (* run a program on the scratch; the template must stay pristine *)
+        State.set_reg scratch Reg.RAX Width.W64 0x4242L;
+        Memory.write scratch.State.mem ~addr:Layout.sandbox_base Width.W64 99L;
+        State.equal_arch tpl (Input.to_state input));
+    test ~count:30 "Input.templates matches per-input to_state"
+      QCheck.(pair seed_gen (int_range 1 8))
+      (fun (seed, n) ->
+        let inputs =
+          Input.generate_many (Prng.create ~seed) ~entropy:2 ~n
+        in
+        let tpls = Input.templates inputs in
+        List.for_all2
+          (fun i tpl -> State.equal_arch tpl (Input.to_state i))
+          inputs (Array.to_list tpls));
+  ]
+
 (* --- Input ---------------------------------------------------------------------- *)
 
 let input_props =
@@ -345,6 +444,8 @@ let () =
       ("word_flags", word_props);
       ("memory", memory_props);
       ("cache_htrace", cache_props);
+      ("htrace_bitset", htrace_bitset_props);
+      ("templates", template_props);
       ("analyzer", analyzer_props);
       ("generator", generator_props);
       ("cpu_soundness", cpu_props);
