@@ -232,10 +232,11 @@ let bechamel_suite () =
   let model_test =
     let prng = Prng.create ~seed in
     let prog = Generator.generate prng Generator.default_cfg in
-    let flat = Revizor_isa.Program.flatten_exn prog in
+    let compiled = Revizor_emu.Compiled.of_program_exn prog in
     let input = Input.generate prng ~entropy:2 in
     Test.make ~name:"table3: one contract trace (model)"
-      (Staged.stage (fun () -> ignore (Model.run Contract.ct_cond flat input)))
+      (Staged.stage (fun () ->
+           ignore (Model.run Contract.ct_cond compiled input)))
   in
   let tests =
     Test.make_grouped ~name:"revizor"
@@ -277,24 +278,24 @@ let bechamel_suite () =
     rows;
   rows
 
-(* --- BENCH_PR1.json machine-readable artifact ---------------------------- *)
+(* --- BENCH_PR2.json machine-readable artifact ---------------------------- *)
 
-(* Pre-PR-1 numbers, measured on this machine at the seed commit with the
+(* PR 1 numbers, measured on this machine at the PR 1 commit with the
    same Bechamel configuration (seed 1, quota 1s) and a FAST-mode (2s)
    throughput run. Kept hardcoded so every later run reports its speedup
    against the same fixed reference. *)
 let pr1_baseline_ms =
   [
-    ("revizor/table3: generate+instrument one test case", 0.054);
-    ("revizor/table3: one contract trace (model)", 0.047);
-    ("revizor/table3/4: full pipeline, spectre-v1 x CT-SEQ", 68.610);
-    ("revizor/table5: full pipeline, spectre-v4 x CT-SEQ", 76.590);
-    ("revizor/sec 6.4: full pipeline, spec-store-eviction", 76.018);
-    ("revizor/sec 6.6: full pipeline, stt-speculative x ARCH-SEQ", 69.170);
+    ("revizor/table3: generate+instrument one test case", 0.056);
+    ("revizor/table3: one contract trace (model)", 0.025);
+    ("revizor/table3/4: full pipeline, spectre-v1 x CT-SEQ", 6.257);
+    ("revizor/table5: full pipeline, spectre-v4 x CT-SEQ", 8.319);
+    ("revizor/sec 6.4: full pipeline, spec-store-eviction", 11.711);
+    ("revizor/sec 6.6: full pipeline, stt-speculative x ARCH-SEQ", 5.801);
   ]
 
-(* (seconds, test_cases, cases_per_hour) of the seed-commit throughput run *)
-let pr1_baseline_throughput = (2.0, 83, 147762.)
+(* (seconds, test_cases, cases_per_hour) of the PR 1 throughput run *)
+let pr1_baseline_throughput = (2.0, 182, 326504.)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -311,7 +312,7 @@ let json_escape s =
 
 let write_bench_json ~rows ~(throughput : Experiments.throughput) =
   let path =
-    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR1.json"
+    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR2.json"
   in
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -324,7 +325,7 @@ let write_bench_json ~rows ~(throughput : Experiments.throughput) =
   in
   let bl_sec, bl_tc, bl_cph = pr1_baseline_throughput in
   add "{\n";
-  add "  \"pr\": 1,\n";
+  add "  \"pr\": 2,\n";
   add "  \"seed\": %Ld,\n" seed;
   add "  \"fast\": %b,\n" fast;
   add "  \"baseline\": {\n";

@@ -2,7 +2,12 @@
    per iteration of each hot-path piece (state materialization/restore,
    CPU run, prime/probe, model run, measurement, full check). Used to
    find the PR 1 bottlenecks (DESIGN.md §6); keep it for future perf
-   work — Bechamel only times whole workloads. *)
+   work — Bechamel only times whole workloads.
+
+   PR 2 adds compiled-vs-interpreted rows: every consumer now takes a
+   [Compiled.t], so the engine choice is made here by compiling the same
+   flat program with [Compiled.of_flat] (decode-once closures) or
+   [Compiled.interpreted] (every step through [Semantics.step]). *)
 open Revizor
 open Revizor_uarch
 
@@ -20,15 +25,22 @@ let () =
   let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
   let g = Gadgets.spectre_v1 in
   let flat = Revizor_isa.Program.flatten_exn g.Gadgets.program in
+  let compiled = Revizor_emu.Compiled.of_flat flat in
+  let interp = Revizor_emu.Compiled.interpreted flat in
   let templates = Input.templates inputs in
   let scratch = Revizor_emu.State.create () in
   let input0 = List.hd inputs in
   time "Input.to_state" 2000 (fun () -> ignore (Input.to_state input0));
   time "State.copy_into" 20000 (fun () ->
       Revizor_emu.State.copy_into templates.(0) ~dst:scratch);
-  time "Cpu.run (after restore)" 2000 (fun () ->
+  time "Compiled.of_flat (decode once)" 2000 (fun () ->
+      ignore (Revizor_emu.Compiled.of_flat flat));
+  time "Cpu.run compiled (after restore)" 2000 (fun () ->
       Revizor_emu.State.copy_into templates.(0) ~dst:scratch;
-      Cpu.run cpu flat scratch);
+      Cpu.run cpu compiled scratch);
+  time "Cpu.run interpreted (after restore)" 2000 (fun () ->
+      Revizor_emu.State.copy_into templates.(0) ~dst:scratch;
+      Cpu.run cpu interp scratch);
   time "Cache.prime" 2000 (fun () -> Cache.prime (Cpu.cache cpu));
   time "prime+probe observe" 2000 (fun () ->
       ignore
@@ -37,10 +49,18 @@ let () =
       ignore
         (Attack.observe cpu cfg.Fuzzer.executor.Executor.threat (fun () ->
              Revizor_emu.State.copy_into templates.(0) ~dst:scratch;
-             Cpu.run cpu flat scratch)));
-  time "Model.run" 2000 (fun () -> ignore (Model.run Contract.ct_seq flat input0));
+             Cpu.run cpu compiled scratch)));
+  time "Model.run compiled" 2000 (fun () ->
+      ignore (Model.run Contract.ct_seq compiled input0));
+  time "Model.run interpreted" 2000 (fun () ->
+      ignore (Model.run Contract.ct_seq interp input0));
   let executor = Executor.create cpu cfg.Fuzzer.executor in
-  time "Executor.measure 50 inputs" 20 (fun () ->
-      ignore (Executor.measure ~templates executor flat inputs));
-  time "check_test_case" 20 (fun () ->
-      ignore (Fuzzer.check_test_case cfg executor g.Gadgets.program inputs))
+  time "Executor.measure 50 compiled" 20 (fun () ->
+      ignore (Executor.measure ~templates executor compiled inputs));
+  time "Executor.measure 50 interpreted" 20 (fun () ->
+      ignore (Executor.measure ~templates executor interp inputs));
+  time "check_test_case (compiled)" 20 (fun () ->
+      ignore (Fuzzer.check_test_case cfg executor g.Gadgets.program inputs));
+  let icfg = { cfg with Fuzzer.engine = Fuzzer.Interpreted } in
+  time "check_test_case (interpreted)" 20 (fun () ->
+      ignore (Fuzzer.check_test_case icfg executor g.Gadgets.program inputs))

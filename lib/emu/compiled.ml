@@ -1,0 +1,637 @@
+open Revizor_isa
+
+(* Decode-once compiled program representation.
+
+   A flat program is executed hundreds of times per test case (model
+   pass, nesting re-check, executor warm-up, measurement repetitions and
+   swap-check re-measurements over the whole input sequence), and the
+   interpreted path re-derives every piece of per-instruction metadata on
+   every single step: [Semantics.step] re-matches the opcode and operand
+   shape, [Instruction.regs_read]/[regs_written] rebuild and re-sort
+   register lists, [Opcode.reads_flags]/[is_serializing] re-classify, and
+   [Ports.of_instruction] allocates a fresh list per µop.
+
+   [of_flat] performs all of that work exactly once, producing for each
+   instruction (a) a {!desc} of precomputed metadata — register indices
+   as int arrays, classification bits as bools, the port list as an int
+   array, the memory operand with its effective-address computation
+   pre-resolved to a closure — and (b) the semantic action compiled to an
+   OCaml closure (threaded-code style), so the per-step dispatch is one
+   indirect call instead of a match cascade.
+
+   [interpreted] builds the same descriptors but keeps the semantic
+   action as a call into {!Semantics.step}; it is the reference the
+   compiled engine is differentially tested against (the two must be
+   bit-identical: same traces, same faults, same mutated state).
+
+   A compiled program is immutable after construction and holds no
+   execution state, so one value is safely shared read-only across
+   domains (the parallel model stage). *)
+
+type ectx = { st : State.t; mutable acc : Semantics.access list }
+
+type action = State.t -> Semantics.outcome
+
+(* Latency classification mirroring [Uarch_config.inst_latency]; the
+   uarch layer maps a class to cycles for its configuration once per run
+   instead of re-matching the opcode per step. [Lat_div] is resolved
+   operand-dependently (the dividend's magnitude) by the caller. *)
+type lat_class = Lat_alu | Lat_mul | Lat_div | Lat_branch
+
+type mem_ref = {
+  mr_width : Width.t;
+  mr_addr : State.t -> int64;  (** pre-resolved effective address *)
+  mr_base : int;  (** {!Reg.index} of the base register, or -1 *)
+  mr_index : int;  (** {!Reg.index} of the index register, or -1 *)
+}
+
+type desc = {
+  d_inst : Instruction.t;
+  d_serializing : bool;
+  d_control_flow : bool;
+  d_loads : bool;
+  d_stores : bool;
+  d_reads_flags : bool;
+  d_writes_flags : bool;
+  d_cond : Cond.t option;  (** [Some c] iff the instruction is [Jcc c] *)
+  d_srcs : int array;  (** {!Reg.index} of every register read *)
+  d_dsts : int array;  (** {!Reg.index} of every register written *)
+  d_ports : int array;  (** one entry per µop, cf. {!Ports.of_instruction} *)
+  d_lat : lat_class;
+  d_div_width : Width.t;  (** operand width of a division (else W64) *)
+  d_mem : mem_ref option;  (** first memory operand, pre-resolved *)
+}
+
+type t = {
+  flat : Program.flat;
+  descs : desc array;
+  actions : action array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Operand accessors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective address, specialised on the operand shape present. The
+   arithmetic is kept associatively identical to [Semantics.mem_addr]:
+   (base + index*scale) + disp over wrapping Int64. *)
+let compile_addr (m : Operand.mem) : State.t -> int64 =
+  let disp = Int64.of_int m.Operand.disp in
+  match (m.Operand.base, m.Operand.index, m.Operand.scale) with
+  | Some b, Some x, 1 ->
+      let bi = Reg.index b and xi = Reg.index x in
+      fun st ->
+        Int64.add (Int64.add st.State.regs.(bi) st.State.regs.(xi)) disp
+  | Some b, Some x, s ->
+      let bi = Reg.index b and xi = Reg.index x and sc = Int64.of_int s in
+      fun st ->
+        Int64.add
+          (Int64.add st.State.regs.(bi) (Int64.mul st.State.regs.(xi) sc))
+          disp
+  | Some b, None, _ ->
+      let bi = Reg.index b in
+      fun st -> Int64.add (Int64.add st.State.regs.(bi) 0L) disp
+  | None, Some x, s ->
+      let xi = Reg.index x and sc = Int64.of_int s in
+      fun st -> Int64.add (Int64.mul st.State.regs.(xi) sc) disp
+  | None, None, _ -> fun _ -> disp
+
+let load ectx addr width =
+  let value = Memory.read ectx.st.State.mem ~addr width in
+  ectx.acc <- { Semantics.kind = `Load; addr; width; value } :: ectx.acc;
+  value
+
+let store ectx addr width value =
+  Memory.write ectx.st.State.mem ~addr width value;
+  ectx.acc <- { Semantics.kind = `Store; addr; width; value } :: ectx.acc
+
+(* Zero-extended register read at a fixed width. *)
+let compile_reg_read r w : State.t -> int64 =
+  let i = Reg.index r in
+  match w with
+  | Width.W64 -> fun st -> st.State.regs.(i)
+  | _ ->
+      let mask = Width.mask w in
+      fun st -> Int64.logand st.State.regs.(i) mask
+
+(* Register write with x86 merge semantics at a fixed width. *)
+let compile_reg_write r w : State.t -> int64 -> unit =
+  let i = Reg.index r in
+  match w with
+  | Width.W64 -> fun st v -> st.State.regs.(i) <- v
+  | Width.W32 ->
+      fun st v -> st.State.regs.(i) <- Int64.logand v 0xFFFF_FFFFL
+  | Width.W8 | Width.W16 ->
+      let mask = Width.mask w in
+      let keep = Int64.lognot mask in
+      fun st v ->
+        st.State.regs.(i) <-
+          Int64.logor (Int64.logand st.State.regs.(i) keep) (Int64.logand v mask)
+
+let bad_dst () : 'a = invalid_arg "Semantics: immediate destination"
+
+(* Source operand read (zero-extended), cf. [Semantics.read_src]. [w] is
+   the instruction's operand width, used only for immediates. *)
+let compile_read_src w (op : Operand.t) : ectx -> int64 =
+  match op with
+  | Operand.Reg (r, w') ->
+      let f = compile_reg_read r w' in
+      fun ectx -> f ectx.st
+  | Operand.Imm v ->
+      let c = Word.zext w v in
+      fun _ -> c
+  | Operand.Mem (m, w') ->
+      let af = compile_addr m in
+      fun ectx -> load ectx (af ectx.st) w'
+
+(* Destination read for read-modify-write, cf. [Semantics.read_dst]. *)
+let compile_read_dst (op : Operand.t) : ectx -> int64 =
+  match op with
+  | Operand.Reg (r, w) ->
+      let f = compile_reg_read r w in
+      fun ectx -> f ectx.st
+  | Operand.Mem (m, w) ->
+      let af = compile_addr m in
+      fun ectx -> load ectx (af ectx.st) w
+  | Operand.Imm _ -> fun _ -> bad_dst ()
+
+let compile_write_dst (op : Operand.t) : ectx -> int64 -> unit =
+  match op with
+  | Operand.Reg (r, w) ->
+      let f = compile_reg_write r w in
+      fun ectx v -> f ectx.st v
+  | Operand.Mem (m, w) ->
+      let af = compile_addr m in
+      fun ectx v -> store ectx (af ectx.st) w (Word.zext w v)
+  | Operand.Imm _ -> fun _ _ -> bad_dst ()
+
+let operand_width (i : Instruction.t) =
+  match List.find_map (fun op -> Operand.width op) i.Instruction.operands with
+  | Some w -> w
+  | None -> Width.W64
+
+(* ------------------------------------------------------------------ *)
+(* Semantic-action compilation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each compiled body receives an [ectx] and performs the instruction's
+   register/flag/memory effects; the shared wrapper advances pc and
+   packages the outcome exactly like [Semantics.step] does. *)
+
+let compile_binop (i : Instruction.t) dst src : ectx -> unit =
+  let w = operand_width i in
+  let rd = compile_read_dst dst in
+  let rs = compile_read_src w src in
+  let wr = compile_write_dst dst in
+  match i.Instruction.opcode with
+  | Opcode.Mov -> fun ectx -> wr ectx (rs ectx)
+  | Opcode.Add ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.add a b) in
+        ectx.st.State.flags <- Flags.after_add w ~a ~b ~carry_in:false ~r;
+        wr ectx r
+  | Opcode.Adc ->
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let b = rs ectx in
+        let c = if flags.Flags.cf then 1L else 0L in
+        let r = Word.zext w (Int64.add (Int64.add a b) c) in
+        ectx.st.State.flags <- Flags.after_add w ~a ~b ~carry_in:flags.Flags.cf ~r;
+        wr ectx r
+  | Opcode.Sub ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.sub a b) in
+        ectx.st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r;
+        wr ectx r
+  | Opcode.Sbb ->
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let b = rs ectx in
+        let c = if flags.Flags.cf then 1L else 0L in
+        let r = Word.zext w (Int64.sub (Int64.sub a b) c) in
+        ectx.st.State.flags <-
+          Flags.after_sub w ~a ~b ~borrow_in:flags.Flags.cf ~r;
+        wr ectx r
+  | Opcode.Cmp ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.sub a b) in
+        ectx.st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r
+  | Opcode.And ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.logand a b) in
+        ectx.st.State.flags <- Flags.after_logic w ~r;
+        wr ectx r
+  | Opcode.Or ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.logor a b) in
+        ectx.st.State.flags <- Flags.after_logic w ~r;
+        wr ectx r
+  | Opcode.Xor ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.logxor a b) in
+        ectx.st.State.flags <- Flags.after_logic w ~r;
+        wr ectx r
+  | Opcode.Test ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let r = Word.zext w (Int64.logand a b) in
+        ectx.st.State.flags <- Flags.after_logic w ~r
+  | Opcode.Imul ->
+      fun ectx ->
+        let a = rd ectx in
+        let b = rs ectx in
+        let sa = Word.sext w a and sb = Word.sext w b in
+        let full = Int64.mul sa sb in
+        let r = Word.zext w full in
+        let full_overflow =
+          match w with
+          | Width.W64 ->
+              sa <> 0L
+              && (Int64.div full sa <> sb || (sa = -1L && sb = Int64.min_int))
+          | Width.W8 | Width.W16 | Width.W32 -> Word.sext w full <> full
+        in
+        ectx.st.State.flags <- Flags.after_imul w ~full_overflow ~r;
+        wr ectx r
+  | Opcode.Cmov c -> (
+      match dst with
+      | Operand.Reg (r, w') ->
+          let rold = compile_reg_read r w' in
+          fun ectx ->
+            let b = rs ectx in
+            let old = rold ectx.st in
+            let v = if Flags.eval_cond ectx.st.State.flags c then b else old in
+            wr ectx v
+      | Operand.Mem _ | Operand.Imm _ ->
+          fun _ -> invalid_arg "CMOV destination")
+  | Opcode.Movzx -> fun ectx -> wr ectx (rs ectx)
+  | Opcode.Movsx ->
+      let ws = match Operand.width src with Some w' -> w' | None -> w in
+      fun ectx -> wr ectx (Word.sext ws (rs ectx))
+  | Opcode.Xchg -> (
+      match (dst, src) with
+      | Operand.Reg (ra, wa), Operand.Reg (rb, _) ->
+          let ra_rd = compile_reg_read ra wa
+          and rb_rd = compile_reg_read rb wa
+          and ra_wr = compile_reg_write ra wa
+          and rb_wr = compile_reg_write rb wa in
+          fun ectx ->
+            let va = ra_rd ectx.st and vb = rb_rd ectx.st in
+            ra_wr ectx.st vb;
+            rb_wr ectx.st va
+      | (Operand.Mem _ as mop), Operand.Reg (r, wr')
+      | Operand.Reg (r, wr'), (Operand.Mem _ as mop) ->
+          let m_rd = compile_read_dst mop and m_wr = compile_write_dst mop in
+          let r_rd = compile_reg_read r wr' and r_wr = compile_reg_write r wr' in
+          fun ectx ->
+            let vm = m_rd ectx in
+            let vr = r_rd ectx.st in
+            m_wr ectx vr;
+            r_wr ectx.st vm
+      | _ -> fun _ -> invalid_arg "XCHG operands")
+  | Opcode.Rol | Opcode.Ror ->
+      let op = if i.Instruction.opcode = Opcode.Rol then `Rol else `Ror in
+      let count_mask = if Width.equal w Width.W64 then 63L else 31L in
+      let bits = Width.bits w in
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let raw_count = rs ectx in
+        let count = Int64.to_int (Int64.logand raw_count count_mask) in
+        let eff = count mod bits in
+        let a' = Word.zext w a in
+        let r =
+          if eff = 0 then a'
+          else
+            match op with
+            | `Rol ->
+                Word.zext w
+                  (Int64.logor (Int64.shift_left a' eff)
+                     (Int64.shift_right_logical a' (bits - eff)))
+            | `Ror ->
+                Word.zext w
+                  (Int64.logor
+                     (Int64.shift_right_logical a' eff)
+                     (Int64.shift_left a' (bits - eff)))
+        in
+        ectx.st.State.flags <- Flags.after_rotate w flags ~op ~count ~r;
+        if count <> 0 then wr ectx r
+  | Opcode.Shl | Opcode.Shr | Opcode.Sar ->
+      let op =
+        match i.Instruction.opcode with
+        | Opcode.Shl -> `Shl
+        | Opcode.Shr -> `Shr
+        | _ -> `Sar
+      in
+      let count_mask = if Width.equal w Width.W64 then 63L else 31L in
+      let bits = Width.bits w in
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let raw_count = rs ectx in
+        let count = Int64.to_int (Int64.logand raw_count count_mask) in
+        let r =
+          if count = 0 then Word.zext w a
+          else
+            match op with
+            | `Shl ->
+                if count >= bits then 0L
+                else Word.zext w (Int64.shift_left (Word.zext w a) count)
+            | `Shr ->
+                if count >= bits then 0L
+                else Int64.shift_right_logical (Word.zext w a) count
+            | `Sar ->
+                let sa = Word.sext w a in
+                let c = min count 63 in
+                Word.zext w (Int64.shift_right sa c)
+        in
+        ectx.st.State.flags <- Flags.after_shift w flags ~op ~a ~count ~r;
+        if count <> 0 then wr ectx r
+  | _ -> fun _ -> invalid_arg "Semantics.exec_binop"
+
+let compile_unop (i : Instruction.t) dst : ectx -> unit =
+  let w = operand_width i in
+  let rd = compile_read_dst dst in
+  let wr = compile_write_dst dst in
+  match i.Instruction.opcode with
+  | Opcode.Inc ->
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let r = Word.zext w (Int64.add a 1L) in
+        ectx.st.State.flags <- Flags.after_inc w flags ~a ~r;
+        wr ectx r
+  | Opcode.Dec ->
+      fun ectx ->
+        let flags = ectx.st.State.flags in
+        let a = rd ectx in
+        let r = Word.zext w (Int64.sub a 1L) in
+        ectx.st.State.flags <- Flags.after_dec w flags ~a ~r;
+        wr ectx r
+  | Opcode.Neg ->
+      fun ectx ->
+        let a = rd ectx in
+        let r = Word.zext w (Int64.neg a) in
+        ectx.st.State.flags <- Flags.after_neg w ~a ~r;
+        wr ectx r
+  | Opcode.Not ->
+      fun ectx ->
+        let a = rd ectx in
+        wr ectx (Word.zext w (Int64.lognot a))
+  | Opcode.Setcc c ->
+      fun ectx ->
+        wr ectx (if Flags.eval_cond ectx.st.State.flags c then 1L else 0L)
+  | _ -> fun _ -> invalid_arg "Semantics.exec_unop"
+
+let compile_div (i : Instruction.t) src : ectx -> unit =
+  let w = operand_width i in
+  let rs = compile_read_src w src in
+  let rax_rd = compile_reg_read Reg.RAX w
+  and rdx_rd = compile_reg_read Reg.RDX w
+  and rax_wr = compile_reg_write Reg.RAX w
+  and rdx_wr = compile_reg_write Reg.RDX w in
+  let signed = i.Instruction.opcode = Opcode.Idiv in
+  fun ectx ->
+    let divisor = rs ectx in
+    let rax = rax_rd ectx.st in
+    let rdx = rdx_rd ectx.st in
+    if Word.zext w divisor = 0L then raise Semantics.Division_fault;
+    let quotient, remainder =
+      if not signed then
+        match w with
+        | Width.W64 ->
+            if rdx <> 0L then raise Semantics.Division_fault
+            else (Int64.unsigned_div rax divisor, Int64.unsigned_rem rax divisor)
+        | Width.W8 | Width.W16 | Width.W32 ->
+            let bits = Width.bits w in
+            let dividend = Int64.logor (Int64.shift_left rdx bits) rax in
+            let q = Int64.unsigned_div dividend divisor in
+            if Int64.unsigned_compare q (Width.mask w) > 0 then
+              raise Semantics.Division_fault;
+            (q, Int64.unsigned_rem dividend divisor)
+      else
+        let sd = Word.sext w divisor in
+        match w with
+        | Width.W64 ->
+            let high_ok = rdx = Int64.shift_right rax 63 in
+            if not high_ok then raise Semantics.Division_fault;
+            if rax = Int64.min_int && sd = -1L then
+              raise Semantics.Division_fault;
+            (Int64.div rax sd, Int64.rem rax sd)
+        | Width.W8 | Width.W16 | Width.W32 ->
+            let bits = Width.bits w in
+            let dividend = Int64.logor (Int64.shift_left rdx bits) rax in
+            let q = Int64.div dividend sd in
+            let half = Int64.shift_left 1L (bits - 1) in
+            if
+              Int64.compare q (Int64.neg half) < 0 || Int64.compare q half >= 0
+            then raise Semantics.Division_fault;
+            (q, Int64.rem dividend sd)
+    in
+    rax_wr ectx.st quotient;
+    rdx_wr ectx.st remainder
+
+let compile_action (flat : Program.flat) pc (i : Instruction.t) : action =
+  let code_len = Array.length flat.Program.code in
+  let fall = pc + 1 in
+  (* Straight-line body: run effects, fall through, package outcome. *)
+  let seq (body : ectx -> unit) : action =
+   fun st ->
+    let ectx = { st; acc = [] } in
+    body ectx;
+    st.State.pc <- fall;
+    {
+      Semantics.inst = i;
+      pc;
+      accesses = List.rev ectx.acc;
+      taken = None;
+      next = fall;
+    }
+  in
+  match (i.Instruction.opcode, i.Instruction.operands) with
+  | (Opcode.Lfence | Opcode.Mfence | Opcode.Nop), _ ->
+      fun st ->
+        st.State.pc <- fall;
+        { Semantics.inst = i; pc; accesses = []; taken = None; next = fall }
+  | Opcode.Jmp, _ ->
+      let target = flat.Program.target.(pc) in
+      fun st ->
+        st.State.pc <- target;
+        { Semantics.inst = i; pc; accesses = []; taken = None; next = target }
+  | Opcode.Jcc c, _ ->
+      let target = flat.Program.target.(pc) in
+      fun st ->
+        let b = Flags.eval_cond st.State.flags c in
+        let next = if b then target else fall in
+        st.State.pc <- next;
+        { Semantics.inst = i; pc; accesses = []; taken = Some b; next }
+  | Opcode.JmpInd, [ Operand.Reg (r, _) ] ->
+      let rd = compile_reg_read r Width.W64 in
+      fun st ->
+        let next = Semantics.mask_code_index ~code_len (rd st) in
+        st.State.pc <- next;
+        { Semantics.inst = i; pc; accesses = []; taken = None; next }
+  | Opcode.Call, _ ->
+      let target = flat.Program.target.(pc) in
+      let rsp_rd = compile_reg_read Reg.stack_pointer Width.W64
+      and rsp_wr = compile_reg_write Reg.stack_pointer Width.W64 in
+      let ret_pc = Int64.of_int fall in
+      fun st ->
+        let ectx = { st; acc = [] } in
+        let rsp = Int64.sub (rsp_rd st) 8L in
+        rsp_wr st rsp;
+        store ectx rsp Width.W64 ret_pc;
+        st.State.pc <- target;
+        {
+          Semantics.inst = i;
+          pc;
+          accesses = List.rev ectx.acc;
+          taken = None;
+          next = target;
+        }
+  | Opcode.Ret, _ ->
+      let rsp_rd = compile_reg_read Reg.stack_pointer Width.W64
+      and rsp_wr = compile_reg_write Reg.stack_pointer Width.W64 in
+      fun st ->
+        let ectx = { st; acc = [] } in
+        let rsp = rsp_rd st in
+        let v = load ectx rsp Width.W64 in
+        rsp_wr st (Int64.add rsp 8L);
+        let next = Semantics.mask_code_index ~code_len v in
+        st.State.pc <- next;
+        {
+          Semantics.inst = i;
+          pc;
+          accesses = List.rev ectx.acc;
+          taken = None;
+          next;
+        }
+  | (Opcode.Div | Opcode.Idiv), [ src ] -> seq (compile_div i src)
+  | ( ( Opcode.Add | Opcode.Adc | Opcode.Sub | Opcode.Sbb | Opcode.And
+      | Opcode.Or | Opcode.Xor | Opcode.Cmp | Opcode.Test | Opcode.Mov
+      | Opcode.Imul | Opcode.Cmov _ | Opcode.Shl | Opcode.Shr | Opcode.Sar
+      | Opcode.Rol | Opcode.Ror | Opcode.Movzx | Opcode.Movsx | Opcode.Xchg ),
+      [ dst; src ] ) ->
+      seq (compile_binop i dst src)
+  | (Opcode.Inc | Opcode.Dec | Opcode.Neg | Opcode.Not | Opcode.Setcc _), [ dst ]
+    ->
+      seq (compile_unop i dst)
+  | op, _ ->
+      (* Unsupported shapes fault at execution time, like the interpreter:
+         a program containing one on a never-executed path still
+         compiles. *)
+      fun _ ->
+        invalid_arg
+          (Printf.sprintf "Semantics.step: unsupported %s form"
+             (Opcode.mnemonic op))
+
+(* ------------------------------------------------------------------ *)
+(* Descriptors                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lat_class_of (op : Opcode.t) =
+  match op with
+  | Opcode.Imul -> Lat_mul
+  | Opcode.Div | Opcode.Idiv -> Lat_div
+  | Opcode.Jcc _ | Opcode.Jmp | Opcode.JmpInd | Opcode.Call | Opcode.Ret ->
+      Lat_branch
+  | _ -> Lat_alu
+
+let desc_of (i : Instruction.t) : desc =
+  let mem =
+    match Instruction.mem_operand i with
+    | None -> None
+    | Some (m, w) ->
+        Some
+          {
+            mr_width = w;
+            mr_addr = compile_addr m;
+            mr_base =
+              (match m.Operand.base with Some r -> Reg.index r | None -> -1);
+            mr_index =
+              (match m.Operand.index with Some r -> Reg.index r | None -> -1);
+          }
+  in
+  let div_width =
+    match i.Instruction.opcode with
+    | Opcode.Div | Opcode.Idiv -> (
+        match Instruction.mem_operand i with
+        | Some (_, w) -> w
+        | None -> (
+            match i.Instruction.operands with
+            | [ Operand.Reg (_, w) ] -> w
+            | _ -> Width.W64))
+    | _ -> Width.W64
+  in
+  {
+    d_inst = i;
+    d_serializing = Opcode.is_serializing i.Instruction.opcode;
+    d_control_flow = Opcode.is_control_flow i.Instruction.opcode;
+    d_loads = Instruction.loads i;
+    d_stores = Instruction.stores i;
+    d_reads_flags = Opcode.reads_flags i.Instruction.opcode;
+    d_writes_flags = Opcode.writes_flags i.Instruction.opcode;
+    d_cond = (match i.Instruction.opcode with Opcode.Jcc c -> Some c | _ -> None);
+    d_srcs = Array.of_list (List.map Reg.index (Instruction.regs_read i));
+    d_dsts = Array.of_list (List.map Reg.index (Instruction.regs_written i));
+    d_ports = Array.of_list (Ports.of_instruction i);
+    d_lat = lat_class_of i.Instruction.opcode;
+    d_div_width = div_width;
+    d_mem = mem;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction and execution                                          *)
+(* ------------------------------------------------------------------ *)
+
+let of_flat (flat : Program.flat) : t =
+  {
+    flat;
+    descs = Array.map desc_of flat.Program.code;
+    actions = Array.mapi (fun pc i -> compile_action flat pc i) flat.Program.code;
+  }
+
+let interpreted (flat : Program.flat) : t =
+  {
+    flat;
+    descs = Array.map desc_of flat.Program.code;
+    actions =
+      Array.map (fun _ -> fun st -> Semantics.step flat st) flat.Program.code;
+  }
+
+let of_program p = Result.map of_flat (Program.flatten p)
+let of_program_exn p = of_flat (Program.flatten_exn p)
+let length t = Array.length t.actions
+let code t = t.flat.Program.code
+let target t pc = t.flat.Program.target.(pc)
+
+let step (t : t) (state : State.t) : Semantics.outcome =
+  let pc = state.State.pc in
+  if pc < 0 || pc >= Array.length t.actions then
+    invalid_arg "Semantics.step: pc out of range";
+  t.actions.(pc) state
+
+let run ?(max_steps = 4096) t state =
+  let code_len = length t in
+  let rec go acc steps =
+    if state.State.pc >= code_len || state.State.pc < 0 || steps >= max_steps
+    then List.rev acc
+    else
+      let o = step t state in
+      go (o :: acc) (steps + 1)
+  in
+  go [] 0

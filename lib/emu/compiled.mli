@@ -1,0 +1,80 @@
+open Revizor_isa
+
+(** Decode-once compiled programs.
+
+    A fuzzing campaign executes each flat program hundreds of times (model
+    pass, nesting re-check, warm-up, measurement repetitions, swap-check
+    re-measurements over the whole input sequence), and the interpreted
+    path re-derives per-instruction metadata on every step. {!of_flat}
+    performs that decoding once, producing per-instruction {!desc}
+    metadata plus the semantic action compiled to a closure (threaded-code
+    style), so a step is one indirect call instead of a match cascade.
+
+    Execution through a compiled program is bit-identical to
+    {!Semantics.step}: same state mutation, same memory-access records in
+    the same order, same faults at the same points. {!interpreted} builds
+    the same descriptors but routes the action through [Semantics.step] —
+    the reference for differential testing and for ruling the compiler
+    itself out of a result.
+
+    Values of type {!t} are immutable after construction and the action
+    closures keep no shared mutable scratch, so one compiled program is
+    safely shared read-only across domains. *)
+
+type lat_class =
+  | Lat_alu
+  | Lat_mul
+  | Lat_div  (** latency is dividend-dependent; resolved by the uarch layer *)
+  | Lat_branch
+
+type mem_ref = {
+  mr_width : Width.t;
+  mr_addr : State.t -> int64;  (** pre-resolved effective address *)
+  mr_base : int;  (** {!Reg.index} of the base register, or -1 *)
+  mr_index : int;  (** {!Reg.index} of the index register, or -1 *)
+}
+
+type desc = {
+  d_inst : Instruction.t;
+  d_serializing : bool;
+  d_control_flow : bool;
+  d_loads : bool;
+  d_stores : bool;
+  d_reads_flags : bool;
+  d_writes_flags : bool;
+  d_cond : Cond.t option;  (** [Some c] iff the instruction is [Jcc c] *)
+  d_srcs : int array;  (** {!Reg.index} of every register read *)
+  d_dsts : int array;  (** {!Reg.index} of every register written *)
+  d_ports : int array;  (** one entry per µop, cf. {!Ports.of_instruction} *)
+  d_lat : lat_class;
+  d_div_width : Width.t;  (** operand width of a division (else [W64]) *)
+  d_mem : mem_ref option;  (** first memory operand, pre-resolved *)
+}
+
+type t = private {
+  flat : Program.flat;
+  descs : desc array;
+  actions : (State.t -> Semantics.outcome) array;
+}
+
+val of_flat : Program.flat -> t
+(** Compile every instruction to a specialised closure. *)
+
+val interpreted : Program.flat -> t
+(** Same descriptors, but every action defers to {!Semantics.step} — the
+    reference engine for differential tests. *)
+
+val of_program : Program.t -> (t, string) result
+val of_program_exn : Program.t -> t
+val length : t -> int
+val code : t -> Instruction.t array
+val target : t -> int -> int
+(** Static branch target of the instruction at the given pc. *)
+
+val step : t -> State.t -> Semantics.outcome
+(** Execute the instruction at [state.pc]. Raises exactly what
+    {!Semantics.step} raises, at the same points, with the same partial
+    state mutation. *)
+
+val run : ?max_steps:int -> t -> State.t -> Semantics.outcome list
+(** Compiled analogue of {!Semantics.run}. *)

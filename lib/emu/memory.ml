@@ -39,6 +39,7 @@ let write t ~addr width v =
   | Width.W64 -> Bytes.set_int64_le t.data off v
 
 let read_byte t off = Char.code (Bytes.get t.data off)
+let write_data_word t ~word v = Bytes.set_int64_le t.data (word * 8) v
 let write_byte t off v = Bytes.set t.data off (Char.chr (v land 0xFF))
 
 let fill t ~f =

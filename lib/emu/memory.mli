@@ -21,6 +21,13 @@ val read_byte : t -> int -> int
 
 val write_byte : t -> int -> int -> unit
 
+val write_data_word : t -> word:int -> int64 -> unit
+(** [write_data_word t ~word v] writes the [word]-th aligned 64-bit word
+    of the data area — equal to
+    [write t ~addr:(sandbox_base + 8 * word) W64 v] without the
+    address arithmetic. Input materialization fills the whole sandbox
+    through this on every test case. *)
+
 val fill : t -> f:(int -> int) -> unit
 (** Initialize every data byte from its offset ([f] returns 0–255); the
     guard tail is zeroed. *)

@@ -1,5 +1,3 @@
-open Revizor_isa
-
 (** Execution-port model (extension; the paper lists port-contention
     channels as future work in §7).
 

@@ -49,8 +49,9 @@ let apply_noise cfg trace =
         && Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000.
            < n.flip_probability
       then begin
-        let elems = Htrace.elements !trace in
-        let victim = List.nth elems (Prng.int n.rng (List.length elems)) in
+        (* k-th smallest element straight off the bitset: no element-list
+           materialization, no O(n²) [List.nth] walk. *)
+        let victim = Htrace.nth !trace (Prng.int n.rng (Htrace.cardinal !trace)) in
         trace := Htrace.diff !trace (Htrace.singleton victim)
       end;
       !trace
@@ -108,12 +109,15 @@ let measure ?templates t flat inputs =
      flat increment per observation instead of an assoc-list rebuild. *)
   let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
   let counts = Array.make_matrix n domain 0 in
+  (* Per-rep event lists are consed and concatenated once at the end;
+     appending with [@] here would rebuild the accumulated list on every
+     repetition (quadratic in reps). *)
   let events = Array.make n [] in
   for _ = 1 to max 1 t.cfg.measurement_reps do
     run_sequence t flat templates ~record:(fun idx trace evs ->
         let row = counts.(idx) in
         Htrace.iter (fun o -> row.(o) <- row.(o) + 1) trace;
-        events.(idx) <- evs @ events.(idx))
+        events.(idx) <- evs :: events.(idx))
   done;
   let threshold =
     if t.cfg.measurement_reps >= 3 then t.cfg.outlier_min else 1
@@ -123,26 +127,44 @@ let measure ?templates t flat inputs =
       Array.iteri
         (fun o c -> if c >= threshold then htrace := Htrace.add o !htrace)
         counts.(idx);
-      let evs = List.sort_uniq Stdlib.compare events.(idx) in
+      let evs = List.sort_uniq Stdlib.compare (List.concat events.(idx)) in
       let ks = List.sort_uniq Stdlib.compare (List.map fst evs) in
       { htrace = !htrace; kinds = ks; events = evs })
 
 let htraces ?templates t flat inputs =
   Array.map (fun m -> m.htrace) (measure ?templates t flat inputs)
 
-let swap_check ?templates t flat inputs a b =
+let swap_check ?templates ?base t flat inputs a b =
   let templates = templates_of inputs templates in
+  (* Without noise every measurement is a pure function of (templates,
+     session reset), so the unswapped baseline the caller has already
+     measured can be reused verbatim, and the second swapped measurement
+     can be skipped as soon as the first one refutes the artifact
+     hypothesis. With noise enabled neither shortcut is taken: each
+     measurement draws from the noise PRNG and the draws must happen in
+     the historical order to keep runs reproducible per seed. *)
+  let deterministic = t.cfg.noise = None in
+  let base =
+    match base with
+    | Some h when deterministic -> h
+    | Some _ | None -> htraces ~templates t flat inputs
+  in
   (* i_b measured in i_a's context slot... *)
   let seq_b_at_a = Array.copy templates in
   seq_b_at_a.(a) <- templates.(b);
-  (* ... and i_a measured in i_b's context slot. *)
-  let seq_a_at_b = Array.copy templates in
-  seq_a_at_b.(b) <- templates.(a);
-  let base = htraces ~templates t flat inputs in
   let m1 = htraces ~templates:seq_b_at_a t flat inputs in
-  let m2 = htraces ~templates:seq_a_at_b t flat inputs in
+  (* ... and i_a measured in i_b's context slot. *)
+  let m2_agrees () =
+    let seq_a_at_b = Array.copy templates in
+    seq_a_at_b.(b) <- templates.(a);
+    let m2 = htraces ~templates:seq_a_at_b t flat inputs in
+    Htrace.comparable m2.(b) base.(b)
+  in
   (* Artifact iff swapping contexts makes the traces agree both ways. *)
   let artifact =
-    Htrace.comparable m1.(a) base.(a) && Htrace.comparable m2.(b) base.(b)
+    if deterministic then Htrace.comparable m1.(a) base.(a) && m2_agrees ()
+    else
+      let agrees2 = m2_agrees () in
+      Htrace.comparable m1.(a) base.(a) && agrees2
   in
   not artifact

@@ -1,4 +1,3 @@
-open Revizor_isa
 open Revizor_uarch
 
 (** The executor (§5.3): collects hardware traces from the CPU under test.
@@ -57,7 +56,7 @@ type measurement = {
 val measure :
   ?templates:Revizor_emu.State.t array ->
   t ->
-  Program.flat ->
+  Revizor_emu.Compiled.t ->
   Input.t list ->
   measurement array
 (** Reset the CPU session, run warm-ups, then the measured reps. The
@@ -73,19 +72,25 @@ val measure :
 val htraces :
   ?templates:Revizor_emu.State.t array ->
   t ->
-  Program.flat ->
+  Revizor_emu.Compiled.t ->
   Input.t list ->
   Htrace.t array
 
 val swap_check :
   ?templates:Revizor_emu.State.t array ->
+  ?base:Htrace.t array ->
   t ->
-  Program.flat ->
+  Revizor_emu.Compiled.t ->
   Input.t list ->
   int ->
   int ->
   bool
-(** [swap_check t flat inputs a b] re-measures with inputs [a] and [b]
+(** [swap_check t prog inputs a b] re-measures with inputs [a] and [b]
     exchanged in the priming sequence. Returns [true] if the trace
     divergence persists under the swapped contexts (a genuine violation),
-    [false] if it was a priming artifact. *)
+    [false] if it was a priming artifact.
+
+    [base] is the unswapped baseline measurement, if the caller already
+    has it (from {!measure} over the same [templates]); it is reused only
+    in noise-free configurations, where re-measuring would reproduce it
+    bit for bit anyway. *)

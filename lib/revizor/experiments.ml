@@ -426,7 +426,8 @@ let ablation_entropy ?(seed = 7L) () =
         match Program.flatten prog with
         | Error _ -> ()
         | Ok flat ->
-            let results = Model.ctraces contract flat inputs in
+            let prog = Revizor_emu.Compiled.of_flat flat in
+            let results = Model.ctraces contract prog inputs in
             if not (List.exists (fun (r : Model.result) -> r.Model.faulted) results)
             then begin
               let ctraces =
@@ -456,7 +457,8 @@ let ablation_noise_filtering ?(seed = 8L) () =
       match Program.flatten prog with
       | Error _ -> ()
       | Ok flat -> (
-          let results = Model.ctraces Contract.ct_seq flat inputs in
+          let prog = Revizor_emu.Compiled.of_flat flat in
+          let results = Model.ctraces Contract.ct_seq prog inputs in
           if not (List.exists (fun (r : Model.result) -> r.Model.faulted) results)
           then
             let ctraces =
@@ -464,7 +466,7 @@ let ablation_noise_filtering ?(seed = 8L) () =
                 (List.map (fun (r : Model.result) -> r.Model.ctrace) results)
             in
             let classes = Analyzer.input_classes ctraces in
-            let htraces = Executor.htraces executor flat inputs in
+            let htraces = Executor.htraces executor prog inputs in
             match Analyzer.find_violation classes htraces with
             | Some _ -> incr divergences
             | None -> ())
@@ -503,13 +505,13 @@ let ablation_equivalence ?(seed = 9L) () =
   let prng = Prng.create ~seed in
   let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
   let g = Gadgets.spectre_v1 in
-  let flat = Program.flatten_exn g.Gadgets.program in
-  let results = Model.ctraces Contract.ct_cond flat inputs in
+  let prog = Revizor_emu.Compiled.of_program_exn g.Gadgets.program in
+  let results = Model.ctraces Contract.ct_cond prog inputs in
   let ctraces =
     Array.of_list (List.map (fun (r : Model.result) -> r.Model.ctrace) results)
   in
   let classes = Analyzer.input_classes ctraces in
-  let htraces = Executor.htraces executor flat inputs in
+  let htraces = Executor.htraces executor prog inputs in
   let subset = Analyzer.find_violation ~equivalence:`Subset classes htraces in
   let equal = Analyzer.find_violation ~equivalence:`Equal classes htraces in
   {
@@ -533,13 +535,13 @@ let ablation_swap_check ?(seed = 10L) () =
   let prng = Prng.create ~seed in
   let inputs = Input.generate_many prng ~entropy:2 ~n:50 in
   let g = Gadgets.spectre_v1 in
-  let flat = Program.flatten_exn g.Gadgets.program in
-  let results = Model.ctraces Contract.ct_cond flat inputs in
+  let prog = Revizor_emu.Compiled.of_program_exn g.Gadgets.program in
+  let results = Model.ctraces Contract.ct_cond prog inputs in
   let ctraces =
     Array.of_list (List.map (fun (r : Model.result) -> r.Model.ctrace) results)
   in
   let classes = Analyzer.input_classes ctraces in
-  let htraces = Executor.htraces executor flat inputs in
+  let htraces = Executor.htraces executor prog inputs in
   match Analyzer.find_violation ~equivalence:`Equal classes htraces with
   | None ->
       {
@@ -550,7 +552,7 @@ let ablation_swap_check ?(seed = 10L) () =
       }
   | Some cand ->
       let real =
-        Executor.swap_check executor flat inputs cand.Analyzer.index_a
+        Executor.swap_check executor prog inputs cand.Analyzer.index_a
           cand.Analyzer.index_b
       in
       {

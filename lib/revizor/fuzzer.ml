@@ -1,6 +1,13 @@
 open Revizor_isa
 open Revizor_uarch
 
+(* Which execution engine runs the test programs. [Compiled] is the
+   decode-once closure engine; [Interpreted] routes every step through
+   [Semantics.step]. The two are bit-identical by construction (and by the
+   differential test suite); [Interpreted] exists to rule the compiler out
+   of a surprising result and as the differential-testing reference. *)
+type engine = Compiled | Interpreted
+
 type config = {
   contract : Contract.t;
   uarch : Uarch_config.t;
@@ -11,6 +18,7 @@ type config = {
   round_length : int;
   seed : int64;
   model_domains : int;
+  engine : engine;
 }
 
 let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
@@ -24,7 +32,13 @@ let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
     round_length = 25;
     seed;
     model_domains;
+    engine = Compiled;
   }
+
+let compile_with engine flat =
+  match engine with
+  | Compiled -> Revizor_emu.Compiled.of_flat flat
+  | Interpreted -> Revizor_emu.Compiled.interpreted flat
 
 type stats = {
   mutable test_cases : int;
@@ -60,20 +74,20 @@ type budget = Test_cases of int | Seconds of float
 
 (* Contract traces, fanned out over the model pool when one is given. A
    missing pool (or a pool of size 1) is the exact sequential path. *)
-let model_ctraces ?pool ?templates contract flat inputs =
+let model_ctraces ?pool ?templates contract prog inputs =
   match pool with
-  | Some p -> Model.ctraces_par ?templates p contract flat inputs
-  | None -> Model.ctraces ?templates contract flat inputs
+  | Some p -> Model.ctraces_par ?templates p contract prog inputs
+  | None -> Model.ctraces ?templates contract prog inputs
 
 (* The nesting re-check (§5.4): recompute contract traces with nested
    speculation enabled; the violating pair must still share a class and
    still diverge. *)
-let nesting_recheck ?pool ?templates config flat inputs measurements
+let nesting_recheck ?pool ?templates config prog inputs measurements
     (cand : Analyzer.candidate) =
   if config.contract.Contract.nesting then true
   else begin
     let nested = Contract.with_nesting config.contract in
-    let results = model_ctraces ?pool ?templates nested flat inputs in
+    let results = model_ctraces ?pool ?templates nested prog inputs in
     if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
     else
       let ctraces =
@@ -109,13 +123,18 @@ let check_test_case_full ?pool config executor program inputs :
   match Program.flatten program with
   | Error msg -> Error msg
   | Ok flat -> (
+      (* Compile the program exactly once per test case: the model passes
+         (including the nesting re-check), every executor warm-up round,
+         measurement repetition and swap-check re-measurement all reuse
+         the same decoded descriptors and action closures. *)
+      let prog = compile_with config.engine flat in
       (* Materialize each input's architectural state exactly once per
          test case; the model passes, the executor's warm-up/measurement
          repetitions and the swap-check re-measurements all blit-restore
          these templates. *)
       let templates = Input.templates inputs in
       let results =
-        model_ctraces ?pool ~templates config.contract flat inputs
+        model_ctraces ?pool ~templates config.contract prog inputs
       in
       if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
         Error "architectural fault"
@@ -145,7 +164,7 @@ let check_test_case_full ?pool config executor program inputs :
         in
         if classes = [] then no_violation ()
         else
-          let measurements = Executor.measure ~templates executor flat inputs in
+          let measurements = Executor.measure ~templates executor prog inputs in
           let htraces =
             Array.map
               (fun (m : Executor.measurement) -> m.Executor.htrace)
@@ -167,13 +186,14 @@ let check_test_case_full ?pool config executor program inputs :
                   let pair = (cand.Analyzer.index_a, cand.Analyzer.index_b) in
                   if
                     not
-                      (Executor.swap_check ~templates executor flat inputs
+                      (Executor.swap_check ~templates ~base:htraces executor
+                         prog inputs
                          cand.Analyzer.index_a cand.Analyzer.index_b)
                   then
                     hunt (pair :: excluding) (attempts - 1) ~swapped:true ~nested
                   else if
                     not
-                      (nesting_recheck ?pool ~templates config flat inputs
+                      (nesting_recheck ?pool ~templates config prog inputs
                          measurements cand)
                   then
                     hunt (pair :: excluding) (attempts - 1) ~swapped ~nested:true

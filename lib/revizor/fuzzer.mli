@@ -5,6 +5,16 @@ open Revizor_uarch
     generator configuration (§5.6) and the two false-positive filters —
     the priming swap check (§5.3) and the nesting re-check (§5.4). *)
 
+(** Which execution engine runs the test programs. [Compiled] (the
+    default) decodes each test case once into per-instruction descriptors
+    and closure-compiled semantic actions, shared by the contract model
+    and the CPU simulator; [Interpreted] routes every step through
+    {!Revizor_emu.Semantics.step}. The two are bit-identical — fuzzer
+    outcomes, traces and statistics do not depend on the choice (the
+    differential test suite asserts this); [Interpreted] exists as the
+    reference and to rule the compiler out of a surprising result. *)
+type engine = Compiled | Interpreted
+
 type config = {
   contract : Contract.t;
   uarch : Uarch_config.t;
@@ -21,7 +31,13 @@ type config = {
           the measurement order-dependent). Results are identical for
           every value; 1 (the default) runs the plain sequential path
           with no pool at all. *)
+  engine : engine;
 }
+
+val compile_with : engine -> Revizor_isa.Program.flat -> Revizor_emu.Compiled.t
+(** Compile a flat program with the given engine (what
+    {!check_test_case} does internally, for callers that drive
+    {!Model} / {!Executor} directly). *)
 
 val default_config :
   ?seed:int64 ->

@@ -11,8 +11,9 @@ type result = { ctrace : Ctrace.t; stream : step_record list; faulted : bool }
 
 let max_nesting_depth = 4
 
-let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t) =
-  let code_len = Array.length flat.Program.code in
+let run_state ?(max_steps = 4096) (contract : Contract.t) prog (state : State.t) =
+  let code_len = Compiled.length prog in
+  let descs = prog.Compiled.descs in
   let obs = ref [] in
   let stream = ref [] in
   let faulted = ref false in
@@ -41,8 +42,8 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t)
     while (not !stop) && !budget > 0 && state.State.pc < code_len do
       decr budget;
       let pc = state.State.pc in
-      let i = flat.Program.code.(pc) in
-      if Opcode.is_serializing i.Instruction.opcode then
+      let d = descs.(pc) in
+      if d.Compiled.d_serializing then
         if speculative then stop := true
         else state.State.pc <- pc + 1
       else begin
@@ -50,11 +51,11 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t)
           depth = 0 || (contract.Contract.nesting && depth < max_nesting_depth)
         in
         (* Execution clause: conditional-branch misprediction. *)
-        (match i.Instruction.opcode with
-        | Opcode.Jcc c when Contract.has_cond contract && may_nest ->
+        (match d.Compiled.d_cond with
+        | Some c when Contract.has_cond contract && may_nest ->
             let actual = Flags.eval_cond state.State.flags c in
             let inverted =
-              if actual then pc + 1 else flat.Program.target.(pc)
+              if actual then pc + 1 else Compiled.target prog pc
             in
             let snap = State.snapshot state in
             state.State.pc <- inverted;
@@ -62,21 +63,18 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t)
             walk ~depth:(depth + 1)
               (min !budget contract.Contract.speculation_window);
             State.restore state snap
-        | _ -> ());
+        | Some _ | None -> ());
         (* Execution clause: store bypass (the store is skipped and
            execution continues speculatively). *)
-        (if
-           Contract.has_bpas contract && may_nest
-           && Instruction.stores i
-           && Instruction.mem_operand i <> None
-         then
-           match Instruction.mem_operand i with
-           | Some (m, w) ->
-               let addr = Semantics.mem_addr state m in
+        (if Contract.has_bpas contract && may_nest && d.Compiled.d_stores then
+           match d.Compiled.d_mem with
+           | Some mr ->
+               let addr = mr.Compiled.mr_addr state in
+               let w = mr.Compiled.mr_width in
                let snap = State.snapshot state in
                (try
                   let old = Memory.read state.State.mem ~addr w in
-                  let outcome = Semantics.step flat state in
+                  let outcome = Compiled.step prog state in
                   (* Undo the write: the store is bypassed. *)
                   Memory.write state.State.mem ~addr w old;
                   List.iter
@@ -90,14 +88,16 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t)
                State.restore state snap
            | None -> ());
         (* Architectural (or in-exploration) step. *)
-        match Semantics.step flat state with
+        match Compiled.step prog state with
         | outcome ->
             List.iter (record_access ~speculative) outcome.Semantics.accesses;
-            if Opcode.is_control_flow i.Instruction.opcode then
+            if d.Compiled.d_control_flow then
               record_control outcome.Semantics.next;
             if not speculative then
               stream :=
-                { s_pc = pc; s_inst = i; s_accesses = outcome.Semantics.accesses }
+                { s_pc = pc;
+                  s_inst = d.Compiled.d_inst;
+                  s_accesses = outcome.Semantics.accesses }
                 :: !stream
         | exception (Semantics.Division_fault | Memory.Fault _) ->
             if speculative then stop := true
@@ -111,12 +111,12 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) flat (state : State.t)
   walk ~depth:0 max_steps;
   { ctrace = List.rev !obs; stream = List.rev !stream; faulted = !faulted }
 
-let run ?max_steps contract flat input =
-  run_state ?max_steps contract flat (Input.to_state input)
+let run ?max_steps contract prog input =
+  run_state ?max_steps contract prog (Input.to_state input)
 
-let ctraces ?max_steps ?templates contract flat inputs =
+let ctraces ?max_steps ?templates contract prog inputs =
   match templates with
-  | None -> List.map (run ?max_steps contract flat) inputs
+  | None -> List.map (run ?max_steps contract prog) inputs
   | Some tpl ->
       (* One scratch state, restored from each input's template by a flat
          blit instead of regenerating the PRNG stream. *)
@@ -124,11 +124,11 @@ let ctraces ?max_steps ?templates contract flat inputs =
       List.mapi
         (fun i _ ->
           State.copy_into tpl.(i) ~dst:scratch;
-          run_state ?max_steps contract flat scratch)
+          run_state ?max_steps contract prog scratch)
         inputs
 
-let ctraces_par ?max_steps ?templates pool contract flat inputs =
-  if Pool.size pool <= 1 then ctraces ?max_steps ?templates contract flat inputs
+let ctraces_par ?max_steps ?templates pool contract prog inputs =
+  if Pool.size pool <= 1 then ctraces ?max_steps ?templates contract prog inputs
   else
     let arr = Array.of_list inputs in
     let indices = Array.init (Array.length arr) Fun.id in
@@ -142,7 +142,7 @@ let ctraces_par ?max_steps ?templates pool contract flat inputs =
             | Some tpl -> State.copy tpl.(i)
             | None -> Input.to_state arr.(i)
           in
-          run_state ?max_steps contract flat state)
+          run_state ?max_steps contract prog state)
         indices
     in
     Array.to_list results

@@ -27,22 +27,22 @@ type result = {
           case must be discarded (CH1 instrumentation failed) *)
 }
 
-val run : ?max_steps:int -> Contract.t -> Program.flat -> Input.t -> result
+val run : ?max_steps:int -> Contract.t -> Compiled.t -> Input.t -> result
 (** Collect the contract trace of one (program, input) pair. Faults during
     speculative exploration merely end the exploration; faults on the
     architectural path set [faulted]. *)
 
 val run_state :
-  ?max_steps:int -> Contract.t -> Program.flat -> State.t -> result
+  ?max_steps:int -> Contract.t -> Compiled.t -> State.t -> result
 (** Like {!run}, but on an already-materialized initial state (mutated in
-    place). [run contract flat input] is
-    [run_state contract flat (Input.to_state input)]. *)
+    place). [run contract prog input] is
+    [run_state contract prog (Input.to_state input)]. *)
 
 val ctraces :
   ?max_steps:int ->
   ?templates:State.t array ->
   Contract.t ->
-  Program.flat ->
+  Compiled.t ->
   Input.t list ->
   result list
 (** Contract traces for each input in order. When [templates] (from
@@ -55,7 +55,7 @@ val ctraces_par :
   ?templates:State.t array ->
   Pool.t ->
   Contract.t ->
-  Program.flat ->
+  Compiled.t ->
   Input.t list ->
   result list
 (** {!ctraces} with the independent per-input runs fanned out over a

@@ -63,6 +63,11 @@ let map_array p f arr =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
+    (* Completion barrier: the last finisher signals instead of every
+       waiter spinning on [remaining] (a large model stage would otherwise
+       burn a core busy-waiting). *)
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
     (* Every participant drains indices until none are left; exceptions
        are captured per item and re-raised after the barrier so a failing
        task cannot deadlock the pool. *)
@@ -76,7 +81,11 @@ let map_array p f arr =
              (match f arr.(i) with
              | v -> Some (Ok v)
              | exception e -> Some (Error e)));
-          Atomic.decr remaining
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_lock;
+            Condition.signal all_done;
+            Mutex.unlock done_lock
+          end
         end
       done
     in
@@ -84,9 +93,11 @@ let map_array p f arr =
       submit p drain
     done;
     drain ();
+    Mutex.lock done_lock;
     while Atomic.get remaining > 0 do
-      Domain.cpu_relax ()
+      Condition.wait all_done done_lock
     done;
+    Mutex.unlock done_lock;
     Array.map
       (function
         | Some (Ok v) -> v

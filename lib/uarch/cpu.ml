@@ -67,10 +67,12 @@ let fill_buffer t = t.fill_buffer
 let set_fill_buffer t v = t.fill_buffer <- v
 let port_counts t = Array.copy t.port_counts
 
-let count_ports t i =
-  List.iter
-    (fun p -> t.port_counts.(p) <- t.port_counts.(p) + 1)
-    (Ports.of_instruction i)
+let count_ports t (d : Compiled.desc) =
+  let ports = d.Compiled.d_ports in
+  for k = 0 to Array.length ports - 1 do
+    let p = ports.(k) in
+    t.port_counts.(p) <- t.port_counts.(p) + 1
+  done
 
 let kind_to_string = function
   | Branch_mispredict -> "branch-mispredict"
@@ -97,37 +99,31 @@ type timing = {
 
 let fetch_time t tm = tm.fetch_pos / t.cfg.Uarch_config.fetch_width
 
-let src_ready tm (i : Instruction.t) =
-  let r =
-    List.fold_left
-      (fun acc reg -> max acc tm.reg_ready.(Reg.index reg))
-      0 (Instruction.regs_read i)
-  in
-  if Opcode.reads_flags i.Instruction.opcode then max r tm.flags_ready else r
+let src_ready tm (d : Compiled.desc) =
+  let srcs = d.Compiled.d_srcs in
+  let r = ref 0 in
+  for k = 0 to Array.length srcs - 1 do
+    let v = tm.reg_ready.(srcs.(k)) in
+    if v > !r then r := v
+  done;
+  if d.Compiled.d_reads_flags && tm.flags_ready > !r then tm.flags_ready else !r
 
-let addr_regs_ready t tm (m : Operand.mem) =
-  let r = function
-    | Some reg -> tm.reg_ready.(Reg.index reg)
-    | None -> 0
-  in
-  max (r m.Operand.base) (r m.Operand.index) + t.cfg.Uarch_config.lat.Uarch_config.agu
+let addr_regs_ready t tm (mr : Compiled.mem_ref) =
+  let r i = if i < 0 then 0 else tm.reg_ready.(i) in
+  max (r mr.Compiled.mr_base) (r mr.Compiled.mr_index)
+  + t.cfg.Uarch_config.lat.Uarch_config.agu
 
 (* Base execution latency, including the operand-dependent division time.
    The memory latency is added separately by the caller, which knows
    whether the access hit. *)
-let exec_latency t (state : State.t) (i : Instruction.t) =
-  match i.Instruction.opcode with
-  | Opcode.Div | Opcode.Idiv ->
-      let w = match Instruction.mem_operand i with
-        | Some (_, w) -> w
-        | None -> (
-            match i.Instruction.operands with
-            | [ Operand.Reg (_, w) ] -> w
-            | _ -> Width.W64)
-      in
-      let dividend = State.get_reg state Reg.RAX w in
+let exec_latency t (state : State.t) (d : Compiled.desc) =
+  match d.Compiled.d_lat with
+  | Compiled.Lat_div ->
+      let dividend = State.get_reg state Reg.RAX d.Compiled.d_div_width in
       Uarch_config.div_latency t.cfg ~dividend
-  | _ -> Uarch_config.inst_latency t.cfg i
+  | Compiled.Lat_mul -> t.cfg.Uarch_config.lat.Uarch_config.mul
+  | Compiled.Lat_branch -> t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
+  | Compiled.Lat_alu -> t.cfg.Uarch_config.lat.Uarch_config.alu
 
 let overlaps a1 w1 a2 w2 =
   let open Int64 in
@@ -138,10 +134,11 @@ let overlaps a1 w1 a2 w2 =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(max_steps = 20000) t flat (state : State.t) =
+let run ?(max_steps = 20000) t prog (state : State.t) =
   t.events <- [];
   Array.fill t.port_counts 0 Ports.n_ports 0;
-  let code_len = Array.length flat.Program.code in
+  let code_len = Compiled.length prog in
+  let descs = prog.Compiled.descs in
   let tm = { fetch_pos = 0; reg_ready = Array.make 16 0; flags_ready = 0 } in
   let pending : pending_store list ref = ref [] in
   let steps = ref 0 in
@@ -170,14 +167,14 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
          while state.State.pc < code_len && !budget > 0 do
            let ft = fetch_time t tm in
            if ft >= squash_time then raise Exit;
-           let i = flat.Program.code.(state.State.pc) in
-           if Opcode.is_serializing i.Instruction.opcode then raise Exit;
+           let d = descs.(state.State.pc) in
+           if d.Compiled.d_serializing then raise Exit;
            tm.fetch_pos <- tm.fetch_pos + 1;
            decr budget;
-           let start = max ft (src_ready tm i) in
-           if start < squash_time then count_ports t i;
-           let lat = exec_latency t state i in
-           let outcome = Semantics.step flat state in
+           let start = max ft (src_ready tm d) in
+           if start < squash_time then count_ports t d;
+           let lat = exec_latency t state d in
+           let outcome = Compiled.step prog state in
            let mem_lat = ref 0 in
            List.iter
              (fun (a : Semantics.access) ->
@@ -201,11 +198,11 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
                  mem_lat := max !mem_lat (squash_time - start + 1))
              outcome.Semantics.accesses;
            let completion = start + lat + !mem_lat in
-           List.iter
-             (fun r -> tm.reg_ready.(Reg.index r) <- completion)
-             (Instruction.regs_written i);
-           if Opcode.writes_flags i.Instruction.opcode then
-             tm.flags_ready <- completion
+           let dsts = d.Compiled.d_dsts in
+           for k = 0 to Array.length dsts - 1 do
+             tm.reg_ready.(dsts.(k)) <- completion
+           done;
+           if d.Compiled.d_writes_flags then tm.flags_ready <- completion
          done
        with
       | Exit -> ()
@@ -229,10 +226,10 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
   while state.State.pc >= 0 && state.State.pc < code_len && !steps < max_steps do
     incr steps;
     let pc = state.State.pc in
-    let i = flat.Program.code.(pc) in
+    let d = descs.(pc) in
     let ft = fetch_time t tm in
     tm.fetch_pos <- tm.fetch_pos + 1;
-    if Opcode.is_serializing i.Instruction.opcode then begin
+    if d.Compiled.d_serializing then begin
       (* Full barrier: every earlier instruction completes, every pending
          store resolves, the front end stalls until then. *)
       let horizon = Array.fold_left max tm.flags_ready tm.reg_ready in
@@ -243,12 +240,16 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
       state.State.pc <- pc + 1
     end
     else begin
-      let start = max ft (src_ready tm i) in
-      count_ports t i;
+      let start = max ft (src_ready tm d) in
+      count_ports t d;
       pending := List.filter (fun ps -> ps.ps_ready > ft) !pending;
       let mem_info =
-        match Instruction.mem_operand i with
-        | Some (m, w) -> Some (Semantics.mem_addr state m, w, addr_regs_ready t tm m)
+        match d.Compiled.d_mem with
+        | Some mr ->
+            Some
+              ( mr.Compiled.mr_addr state,
+                mr.Compiled.mr_width,
+                addr_regs_ready t tm mr )
         | None -> None
       in
       (* Microcode assist: first access to a page with a cleared Accessed
@@ -263,7 +264,7 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
         | Some _ | None -> false
       in
       let assist_resolve = start + t.cfg.Uarch_config.lat.Uarch_config.assist in
-      (if assist_fired && Instruction.loads i then
+      (if assist_fired && d.Compiled.d_loads then
          match mem_info with
          | Some (addr, w, _) ->
              let tv = if t.cfg.Uarch_config.mds_patch then 0L else t.fill_buffer in
@@ -275,7 +276,7 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
          | None -> ());
       (* Speculative store bypass: a load issuing before an older store's
          address has resolved transiently reads the stale memory value. *)
-      (if Instruction.loads i then
+      (if d.Compiled.d_loads then
          match mem_info with
          | Some (addr, w, _) ->
              let candidate =
@@ -300,32 +301,32 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
          | None -> ());
       (* Record the pre-store value for the store buffer. *)
       let store_old =
-        if Instruction.stores i then
+        if d.Compiled.d_stores then
           match mem_info with
           | Some (addr, w, ar) ->
               Some (addr, w, Memory.read state.State.mem ~addr w, ar)
           | None -> None
         else None
       in
-      let lat = exec_latency t state i in
+      let lat = exec_latency t state d in
       let hit_for_load =
         match mem_info with
-        | Some (addr, _, _) when Instruction.loads i ->
+        | Some (addr, _, _) when d.Compiled.d_loads ->
             Some (Cache.contains t.cache addr)
         | Some _ | None -> None
       in
       (* Branch-prediction bookkeeping around the architectural step. *)
-      (match i.Instruction.opcode with
+      (match d.Compiled.d_inst.Instruction.opcode with
       | Opcode.Jcc c ->
           let actual = Flags.eval_cond state.State.flags c in
           let predicted = Predictors.Pht.predict t.pht ~pc in
           let resolve =
             max ft tm.flags_ready + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
           in
-          let outcome = Semantics.step flat state in
+          let outcome = Compiled.step prog state in
           ignore outcome;
           if predicted <> actual then begin
-            let wrong_pc = if actual then pc + 1 else flat.Program.target.(pc) in
+            let wrong_pc = if actual then pc + 1 else Compiled.target prog pc in
             run_transient ~kind:Branch_mispredict ~origin_pc:pc ~start_pc:wrong_pc
               ~squash_time:resolve ~poison:None
           end;
@@ -334,7 +335,7 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
           let predicted = Predictors.Rsb.pop t.rsb in
           let rsp = State.get_reg state Reg.stack_pointer Width.W64 in
           let stack_hit = Cache.contains t.cache rsp in
-          let outcome = Semantics.step flat state in
+          let outcome = Compiled.step prog state in
           let resolve =
             start + Uarch_config.mem_latency t.cfg ~hit:stack_hit
             + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
@@ -346,7 +347,7 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
           | Some _ | None -> ())
       | Opcode.JmpInd ->
           let predicted = Predictors.Btb.predict t.btb ~pc in
-          let outcome = Semantics.step flat state in
+          let outcome = Compiled.step prog state in
           let resolve =
             start + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
           in
@@ -357,9 +358,9 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
           | Some _ | None -> ());
           Predictors.Btb.update t.btb ~pc ~target:outcome.Semantics.next
       | Opcode.Call ->
-          let _ = Semantics.step flat state in
+          let _ = Compiled.step prog state in
           Predictors.Rsb.push t.rsb (pc + 1)
-      | _ -> ignore (Semantics.step flat state));
+      | _ -> ignore (Compiled.step prog state));
       (* Committed memory effects: cache fills and fill-buffer updates. *)
       let mem_lat = ref 0 in
       (match (mem_info, hit_for_load) with
@@ -371,7 +372,7 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
           t.fill_buffer <- Memory.read state.State.mem ~addr w
       | None -> ());
       (* Implicit stack accesses of CALL/RET also fill the cache. *)
-      (match i.Instruction.opcode with
+      (match d.Compiled.d_inst.Instruction.opcode with
       | Opcode.Call | Opcode.Ret ->
           let rsp = State.get_reg state Reg.stack_pointer Width.W64 in
           ignore (Cache.touch t.cache rsp)
@@ -380,19 +381,20 @@ let run ?(max_steps = 20000) t flat (state : State.t) =
       (match store_old with
       | Some (addr, w, old, ar) ->
           let ready =
-            if assist_fired && not (Instruction.loads i) then
+            if assist_fired && not d.Compiled.d_loads then
               max ar assist_resolve
             else ar
           in
-          let ps_assist = assist_fired && not (Instruction.loads i) in
+          let ps_assist = assist_fired && not d.Compiled.d_loads in
           pending :=
             { ps_addr = addr; ps_width = w; ps_old = old; ps_ready = ready; ps_assist }
             :: !pending
       | None -> ());
       let completion = start + lat + !mem_lat + (if assist_fired then t.cfg.Uarch_config.lat.Uarch_config.assist else 0) in
-      List.iter
-        (fun r -> tm.reg_ready.(Reg.index r) <- completion)
-        (Instruction.regs_written i);
-      if Opcode.writes_flags i.Instruction.opcode then tm.flags_ready <- completion
+      let dsts = d.Compiled.d_dsts in
+      for k = 0 to Array.length dsts - 1 do
+        tm.reg_ready.(dsts.(k)) <- completion
+      done;
+      if d.Compiled.d_writes_flags then tm.flags_ready <- completion
     end
   done

@@ -1,4 +1,3 @@
-open Revizor_isa
 open Revizor_emu
 
 (** The simulated CPU under test.
@@ -63,11 +62,13 @@ val set_fill_buffer : t -> int64 -> unit
     in the fill buffers, which is what MDS-class assists then leak. The
     executor calls this after materializing each input. *)
 
-val run : ?max_steps:int -> t -> Program.flat -> State.t -> unit
-(** Execute the program to completion. On return the architectural state
-    is exactly what {!Semantics.run} would produce; the microarchitectural
-    state (cache, predictors, fill buffer) additionally reflects both the
-    committed and the transient behaviour.
+val run : ?max_steps:int -> t -> Compiled.t -> State.t -> unit
+(** Execute the compiled program to completion. On return the
+    architectural state is exactly what {!Semantics.run} would produce;
+    the microarchitectural state (cache, predictors, fill buffer)
+    additionally reflects both the committed and the transient behaviour.
+    All per-instruction metadata (register indices, ports, latency class,
+    memory accessor) comes from the precomputed {!Compiled.desc}s.
 
     @raise Semantics.Division_fault, Memory.Fault as the emulator does. *)
 

@@ -95,6 +95,25 @@ let fold f t acc =
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
+(* k-th smallest element without materializing the element list: walk the
+   three words lowest-bit-first, counting down. *)
+let nth t k =
+  if k < 0 || k >= cardinal t then
+    invalid_arg (Printf.sprintf "Htrace.nth: index %d out of bounds" k);
+  let k = ref k in
+  let found = ref (-1) in
+  (try
+     iter
+       (fun i ->
+         if !k = 0 then begin
+           found := i;
+           raise Exit
+         end
+         else decr k)
+       t
+   with Exit -> ());
+  !found
+
 let max_elt_opt t =
   fold (fun i _ -> Some i) t None
 

@@ -32,6 +32,12 @@ val compare : t -> t -> int
 val is_empty : t -> bool
 val cardinal : t -> int
 val elements : t -> int list
+
+val nth : t -> int -> int
+(** [nth t k] is the k-th smallest element (0-based) — equal to
+    [List.nth (elements t) k] without building the list.
+    @raise Invalid_argument unless [0 <= k < cardinal t]. *)
+
 val mem : int -> t -> bool
 val diff : t -> t -> t
 

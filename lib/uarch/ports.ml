@@ -1,41 +1,5 @@
-open Revizor_isa
-
-let n_ports = 8
-let alu_port = 0 (* rotate over 0,1,5,6 is overkill; keep deterministic *)
-let mul_port = 1
-let div_port = 0
-let load_port = 2
-let store_data_port = 4
-let store_addr_port = 7
-let branch_port = 6
-
-let of_instruction (i : Instruction.t) =
-  let mem_ports =
-    (if Instruction.loads i then [ load_port ] else [])
-    @ if Instruction.stores i then [ store_data_port; store_addr_port ] else []
-  in
-  let exec_ports =
-    match i.Instruction.opcode with
-    | Opcode.Imul -> [ mul_port ]
-    | Opcode.Div | Opcode.Idiv -> [ div_port; div_port; div_port ]
-    | Opcode.Jcc _ | Opcode.Jmp | Opcode.JmpInd | Opcode.Call | Opcode.Ret ->
-        [ branch_port ]
-    | Opcode.Lfence | Opcode.Mfence | Opcode.Nop -> []
-    | Opcode.Add | Opcode.Adc | Opcode.Sub | Opcode.Sbb | Opcode.And
-    | Opcode.Or | Opcode.Xor | Opcode.Cmp | Opcode.Test | Opcode.Mov
-    | Opcode.Inc | Opcode.Dec | Opcode.Neg | Opcode.Not | Opcode.Shl
-    | Opcode.Shr | Opcode.Sar | Opcode.Rol | Opcode.Ror | Opcode.Movzx
-    | Opcode.Movsx | Opcode.Xchg | Opcode.Cmov _ | Opcode.Setcc _ ->
-        [ alu_port ]
-  in
-  exec_ports @ mem_ports
-
-let buckets = 8
-
-let bucket_of_count c =
-  if c <= 0 then 0
-  else
-    let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
-    min (buckets - 1) (1 + log2 c 0)
-
-let observation ~port ~count = (port * buckets) + bucket_of_count count
+(* The port model moved to the ISA layer (it is pure instruction
+   classification) so that the decode-once compiled layer can precompute
+   per-instruction port arrays; re-exported here for compatibility with
+   the historical [Revizor_uarch.Ports] path. *)
+include Revizor_isa.Ports

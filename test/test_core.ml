@@ -138,7 +138,8 @@ let fig1_program =
       Program.block "exit" [];
     ]
 
-let fig1_flat = Program.flatten_exn fig1_program
+let compile p = Compiled.of_flat (Program.flatten_exn p)
+let fig1_flat = compile fig1_program
 
 let mem_addrs (ct : Ctrace.t) =
   List.filter_map (function Ctrace.Addr a -> Some a | _ -> None) ct
@@ -224,7 +225,7 @@ let model_tests =
               Program.block "exit" [];
             ]
         in
-        let flat = Program.flatten_exn fenced in
+        let flat = compile fenced in
         let prng = Prng.create ~seed:5L in
         let input =
           List.find
@@ -248,7 +249,7 @@ let model_tests =
               Instruction.mov (Operand.reg Reg.RDX) (Operand.sandbox Reg.RCX);
             ]
         in
-        let flat = Program.flatten_exn prog in
+        let flat = compile prog in
         let input = { Input.seed = 42L; entropy = 2 } in
         let seq = Model.run Contract.ct_seq flat input in
         let bpas = Model.run Contract.ct_bpas flat input in
@@ -256,7 +257,7 @@ let model_tests =
           (List.length bpas.Model.ctrace > List.length seq.Model.ctrace));
     tc "§6.4 contract hides speculative stores" `Quick (fun () ->
         let g = Gadgets.spec_store_eviction.Gadgets.program in
-        let flat = Program.flatten_exn g in
+        let flat = compile g in
         let prng = Prng.create ~seed:6L in
         (* pick an input whose branch is taken, so the store is reached
            only on the explored (speculative) path *)
@@ -281,7 +282,7 @@ let model_tests =
         let prog =
           Program.of_insts [ Instruction.div (Operand.reg ~w:Width.W32 Reg.RBX) ]
         in
-        let flat = Program.flatten_exn prog in
+        let flat = compile prog in
         (* RBX = 0 for seeds that derive zero; force entropy 1 and find one *)
         let prng = Prng.create ~seed:7L in
         let input =
@@ -342,7 +343,7 @@ let analyzer_tests =
 (* --- Executor ------------------------------------------------------------------- *)
 
 let v1 = Gadgets.spectre_v1.Gadgets.program
-let v1_flat = Program.flatten_exn v1
+let v1_flat = compile v1
 
 let executor_tests =
   [
@@ -420,7 +421,7 @@ let coverage_tests =
             ]
         in
         let prog = Program.make (prog.Program.blocks @ [ Program.block "exit" [] ]) in
-        let flat = Program.flatten_exn prog in
+        let flat = compile prog in
         let r = Model.run Contract.ct_seq flat { Input.seed = 1L; entropy = 2 } in
         let ps = Coverage.patterns_of_stream r.Model.stream in
         check bool "load-after-store" true (List.mem Coverage.Load_after_store ps);
@@ -476,7 +477,7 @@ let generator_tests =
         in
         for _ = 1 to 40 do
           let p = Generator.generate prng cfg in
-          let flat = Program.flatten_exn p in
+          let flat = compile p in
           List.iter
             (fun input ->
               let r = Model.run Contract.ct_seq flat input in
@@ -493,7 +494,7 @@ let generator_tests =
         in
         for _ = 1 to 20 do
           let p = Generator.generate prng cfg in
-          let flat = Program.flatten_exn p in
+          let flat = compile p in
           List.iter
             (fun input ->
               let r = Model.run Contract.ct_seq flat input in

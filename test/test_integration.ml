@@ -183,7 +183,7 @@ let parallel_tests =
     tc "ctraces_par pool sizes 1/2/4 match the sequential path" `Quick (fun () ->
         let prng = Prng.create ~seed:33L in
         let prog = Generator.generate prng Generator.default_cfg in
-        let flat = Program.flatten_exn prog in
+        let flat = Revizor_emu.Compiled.of_program_exn prog in
         let inputs = Input.generate_many prng ~entropy:2 ~n:40 in
         let templates = Input.templates inputs in
         let reference = Model.ctraces Contract.ct_cond flat inputs in

@@ -213,7 +213,7 @@ let arch_cond_tests =
     tc "ARCH-COND exposes speculatively loaded values" `Quick (fun () ->
         let arch_cond = Contract.make Contract.Arch Contract.Cond in
         let g = Gadgets.stt_speculative in
-        let flat = Program.flatten_exn g.Gadgets.program in
+        let flat = Revizor_emu.Compiled.of_program_exn g.Gadgets.program in
         let prng = Prng.create ~seed:31L in
         (* an input that architecturally skips the leak block *)
         let input =
@@ -247,7 +247,7 @@ let swap_tests =
         let _, executor, v =
           find_violation_for Gadgets.spectre_v1 Contract.ct_seq Target.target5
         in
-        let flat = Program.flatten_exn v.Violation.program in
+        let flat = Revizor_emu.Compiled.of_program_exn v.Violation.program in
         check bool "survives" true
           (Executor.swap_check executor flat v.Violation.inputs
              v.Violation.index_a v.Violation.index_b));
@@ -290,7 +290,7 @@ let assist_determinism_tests =
   [
     tc "assist-mode measurements are reproducible across sessions" `Quick
       (fun () ->
-        let flat = Program.flatten_exn Gadgets.mds_lfb.Gadgets.program in
+        let flat = Revizor_emu.Compiled.of_program_exn Gadgets.mds_lfb.Gadgets.program in
         let measure () =
           let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
           let ex =
@@ -330,7 +330,7 @@ let nested_program =
 let nesting_tests =
   [
     tc "nesting explores deeper speculative paths" `Quick (fun () ->
-        let flat = Program.flatten_exn nested_program in
+        let flat = Revizor_emu.Compiled.of_program_exn nested_program in
         let prng = Prng.create ~seed:17L in
         (* an input where both branches are architecturally taken (both
            registers >= 10), so the inner load is two mispredictions deep *)

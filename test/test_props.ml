@@ -198,7 +198,7 @@ let generator_props =
       QCheck.(pair seed_gen subsets_gen)
       (fun (seed, subsets) ->
         let p = gen_program seed subsets in
-        let flat = Program.flatten_exn p in
+        let flat = Compiled.of_program_exn p in
         let prng = Prng.create ~seed:(Int64.add seed 99L) in
         List.for_all
           (fun input ->
@@ -214,7 +214,7 @@ let generator_props =
     test ~count:50 "model is deterministic" QCheck.(pair seed_gen seed_gen)
       (fun (pseed, iseed) ->
         let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB ] in
-        let flat = Program.flatten_exn p in
+        let flat = Compiled.of_program_exn p in
         let input = { Input.seed = iseed; entropy = 2 } in
         let a = Model.run Contract.ct_cond_bpas flat input in
         let b = Model.run Contract.ct_cond_bpas flat input in
@@ -231,6 +231,7 @@ let cpu_props =
       (fun (pseed, iseed, v4_patch) ->
         let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB; Catalog.VAR ] in
         let flat = Program.flatten_exn p in
+        let prog = Compiled.of_flat flat in
         let input = { Input.seed = iseed; entropy = 3 } in
         let s_cpu = Input.to_state input in
         let s_emu = Input.to_state input in
@@ -239,9 +240,9 @@ let cpu_props =
            the run real speculation to roll back *)
         let prng = Prng.create ~seed:(Int64.add iseed 7L) in
         List.iter
-          (fun i -> Cpu.run cpu flat (Input.to_state i))
+          (fun i -> Cpu.run cpu prog (Input.to_state i))
           (Input.generate_many prng ~entropy:3 ~n:3);
-        Cpu.run cpu flat s_cpu;
+        Cpu.run cpu prog s_cpu;
         ignore (Semantics.run flat s_emu);
         State.equal_arch s_cpu s_emu);
     test ~count:40 "assists never change architectural results"
@@ -249,12 +250,13 @@ let cpu_props =
       (fun (pseed, iseed) ->
         let p = gen_program pseed [ Catalog.AR; Catalog.MEM ] in
         let flat = Program.flatten_exn p in
+        let prog = Compiled.of_flat flat in
         let input = { Input.seed = iseed; entropy = 3 } in
         let s_cpu = Input.to_state input in
         let s_emu = Input.to_state input in
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         Page_table.clear_accessed (Cpu.pages cpu) ~page:0;
-        Cpu.run cpu flat s_cpu;
+        Cpu.run cpu prog s_cpu;
         ignore (Semantics.run flat s_emu);
         State.equal_arch s_cpu s_emu);
     test ~count:40 "ret target masking stays in range"
@@ -272,7 +274,7 @@ let executor_props =
       QCheck.(pair seed_gen seed_gen)
       (fun (pseed, iseed) ->
         let p = gen_program pseed [ Catalog.AR; Catalog.MEM; Catalog.CB ] in
-        let flat = Program.flatten_exn p in
+        let flat = Compiled.of_program_exn p in
         let inputs =
           Input.generate_many (Prng.create ~seed:iseed) ~entropy:2 ~n:10
         in

@@ -220,8 +220,9 @@ let make_state ?(regs = []) ?(mem = fun _ -> 0) () =
   Memory.fill s.State.mem ~f:mem;
   s
 
-let v1_flat = Program.flatten_exn Revizor.Gadgets.spectre_v1.Revizor.Gadgets.program
-let v4_flat = Program.flatten_exn Revizor.Gadgets.spectre_v4.Revizor.Gadgets.program
+let compile p = Compiled.of_flat (Program.flatten_exn p)
+let v1_flat = compile Revizor.Gadgets.spectre_v1.Revizor.Gadgets.program
+let v4_flat = compile Revizor.Gadgets.spectre_v4.Revizor.Gadgets.program
 
 let has_kind kind cpu =
   List.exists (fun (e : Cpu.event) -> e.Cpu.kind = kind) (Cpu.events cpu)
@@ -257,7 +258,7 @@ let cpu_tests =
             let s_cpu = make_state ~regs ~mem () in
             let s_emu = make_state ~regs ~mem () in
             let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:false) in
-            Cpu.run cpu flat s_cpu;
+            Cpu.run cpu (Compiled.of_flat flat) s_cpu;
             ignore (Semantics.run flat s_emu);
             check bool (g.Revizor.Gadgets.name ^ " arch state equal") true
               (State.equal_arch s_cpu s_emu))
@@ -299,7 +300,7 @@ let cpu_tests =
                  else b)
                g.Program.blocks)
         in
-        let flat = Program.flatten_exn fenced in
+        let flat = compile fenced in
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         let s = make_state ~regs:[ (Reg.RAX, 192L) ] ~mem:taken_mem () in
         Cpu.run cpu flat s;
@@ -308,7 +309,7 @@ let cpu_tests =
     tc "assisted load forwards fill-buffer data (MDS)" `Quick (fun () ->
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         let flat =
-          Program.flatten_exn Revizor.Gadgets.mds_lfb.Revizor.Gadgets.program
+          compile Revizor.Gadgets.mds_lfb.Revizor.Gadgets.program
         in
         Page_table.clear_accessed (Cpu.pages cpu) ~page:0;
         (* the page-1 word at offset 4096 holds the "secret" 0x100 -> line 4 *)
@@ -321,7 +322,7 @@ let cpu_tests =
     tc "MDS patch zeroes the forwarded value" `Quick (fun () ->
         let cpu = Cpu.create Uarch_config.coffee_lake in
         let flat =
-          Program.flatten_exn Revizor.Gadgets.mds_lfb.Revizor.Gadgets.program
+          compile Revizor.Gadgets.mds_lfb.Revizor.Gadgets.program
         in
         Page_table.clear_accessed (Cpu.pages cpu) ~page:0;
         let s =
@@ -333,7 +334,7 @@ let cpu_tests =
     tc "assisted store breaks forwarding (LVI) only with the leak flag" `Quick
       (fun () ->
         let flat =
-          Program.flatten_exn Revizor.Gadgets.lvi_null.Revizor.Gadgets.program
+          compile Revizor.Gadgets.lvi_null.Revizor.Gadgets.program
         in
         let run cfg =
           let cpu = Cpu.create cfg in
@@ -352,8 +353,7 @@ let cpu_tests =
     tc "speculative stores touch the cache only on Coffee Lake" `Quick
       (fun () ->
         let flat =
-          Program.flatten_exn
-            Revizor.Gadgets.spec_store_eviction.Revizor.Gadgets.program
+          compile Revizor.Gadgets.spec_store_eviction.Revizor.Gadgets.program
         in
         let run cfg =
           let cpu = Cpu.create cfg in
@@ -370,7 +370,7 @@ let cpu_tests =
         check bool "skylake does not" false (List.mem 33 (transient_sets sky)));
     tc "ret2spec: RSB predicts the stale return target" `Quick (fun () ->
         let flat =
-          Program.flatten_exn Revizor.Gadgets.ret2spec.Revizor.Gadgets.program
+          compile Revizor.Gadgets.ret2spec.Revizor.Gadgets.program
         in
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         let s = make_state ~regs:[ (Reg.RAX, 128L) ] ~mem:(fun _ -> 0) () in
@@ -388,8 +388,7 @@ let cpu_tests =
         check bool "predictor reset" false (has_kind Cpu.Branch_mispredict cpu));
     tc "division latency gates transient loads (V1-var race)" `Quick (fun () ->
         let flat =
-          Program.flatten_exn
-            Revizor.Gadgets.spectre_v1_var.Revizor.Gadgets.program
+          compile Revizor.Gadgets.spectre_v1_var.Revizor.Gadgets.program
         in
         let run ~rax ~rcx =
           let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
@@ -460,7 +459,7 @@ let ports_tests =
     tc "cpu counts ports per run" `Quick (fun () ->
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         let flat =
-          Program.flatten_exn
+          compile
             (Program.of_insts
                [
                  Instruction.binop Opcode.Imul (Operand.reg Reg.RAX) (Operand.reg Reg.RAX);
@@ -476,7 +475,7 @@ let ports_tests =
         check int "reset between runs" 1 (Cpu.port_counts cpu).(1));
     tc "port-contention observation sees transient multiplies" `Quick (fun () ->
         let g = Revizor.Gadgets.spectre_v1_ports in
-        let flat = Program.flatten_exn g.Revizor.Gadgets.program in
+        let flat = compile g.Revizor.Gadgets.program in
         let cpu = Cpu.create (Uarch_config.skylake ~v4_patch:true) in
         let observe regs =
           Attack.observe cpu Attack.port_contention (fun () ->
