@@ -7,9 +7,16 @@
    PR 2 adds compiled-vs-interpreted rows: every consumer now takes a
    [Compiled.t], so the engine choice is made here by compiling the same
    flat program with [Compiled.of_flat] (decode-once closures) or
-   [Compiled.interpreted] (every step through [Semantics.step]). *)
+   [Compiled.interpreted] (every step through [Semantics.step]).
+
+   PR 4: [--metrics] skips the micro-timing loops and instead runs a
+   short non-detecting fuzz (Target 1 x CT-SEQ) with the metrics
+   registry live, then prints the per-stage wall-time breakdown and the
+   full registry — the same tables `revizor_cli fuzz --metrics-out`
+   derives its JSON from. *)
 open Revizor
 open Revizor_uarch
+module Metrics = Revizor_obs.Metrics
 
 let time label n f =
   let t0 = Unix.gettimeofday () in
@@ -17,7 +24,28 @@ let time label n f =
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "%-40s %8.3f us/iter (%d iters)\n%!" label (dt /. float n *. 1e6) n
 
+let metrics_profile () =
+  let seed = 1L in
+  let budget = 200 in
+  Printf.printf
+    "Per-stage metrics profile: %d test cases, Target 1 x CT-SEQ (seed %Ld)\n%!"
+    budget seed;
+  let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target1 in
+  Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let _, stats = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases budget) in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let summary = Metrics.snapshot () in
+  Printf.printf "\n%d test cases, %d inputs in %.2fs\n\n" stats.Fuzzer.test_cases
+    stats.Fuzzer.inputs_tested elapsed_s;
+  print_endline (Report.stage_table summary ~elapsed_s);
+  print_newline ();
+  print_endline (Report.metrics_table summary)
+
 let () =
+  if Array.exists (( = ) "--metrics") Sys.argv then (
+    metrics_profile ();
+    exit 0);
   let seed = 1L in
   let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target5 in
   let cpu = Cpu.create cfg.Fuzzer.uarch in

@@ -4,6 +4,9 @@
 
 open Revizor
 open Cmdliner
+module Metrics = Revizor_obs.Metrics
+module Telemetry = Revizor_obs.Telemetry
+module Json = Revizor_obs.Json
 
 (* --- shared argument parsers --------------------------------------- *)
 
@@ -50,15 +53,159 @@ let inputs_arg =
 
 (* --- fuzz ----------------------------------------------------------- *)
 
-let do_fuzz contract target seed budget inputs minimize save_dir jobs =
-  Printf.printf "Testing %s against %s (seed %Ld, budget %d test cases)\n%!"
-    (Format.asprintf "%a" Target.pp target)
-    (Contract.name contract) seed budget;
+(* The live dashboard and the closing stats line read the process-wide
+   metrics registry rather than the per-campaign [Fuzzer.stats]: with
+   [-j N] the registry carries the totals across every domain. *)
+
+let counter_of snap name =
+  Option.value (List.assoc_opt name snap.Metrics.counters) ~default:0
+
+let gauge_of snap name =
+  Option.value (List.assoc_opt name snap.Metrics.gauges) ~default:0.
+
+let stage_share_line snap ~elapsed =
+  let wall_ns = elapsed *. 1e9 in
+  let stages = Metrics.stage_breakdown snap in
+  String.concat "  "
+    (List.filter_map
+       (fun (st : Metrics.stage) ->
+         if st.Metrics.st_total_ns = 0 || wall_ns <= 0. then None
+         else
+           Some
+             (Printf.sprintf "%s %.1f%%" st.Metrics.st_name
+                (100. *. float_of_int st.Metrics.st_total_ns /. wall_ns)))
+       stages)
+
+let live_lines_printed = ref 0
+
+let render_live ~started () =
+  let snap = Metrics.snapshot () in
+  let c = counter_of snap and g = gauge_of snap in
+  let elapsed = Unix.gettimeofday () -. started in
+  let tcs = c "fuzzer.test_cases" in
+  let rate = if elapsed > 0. then float_of_int tcs /. elapsed else 0. in
+  let inputs = c "fuzzer.inputs_tested" in
+  let eff_pct =
+    if inputs = 0 then 0.
+    else 100. *. float_of_int (c "fuzzer.effective_inputs") /. float_of_int inputs
+  in
+  let lines =
+    [
+      Printf.sprintf "elapsed %6.1fs   test cases %7d  (%.1f tc/s)   inputs %d"
+        elapsed tcs rate inputs;
+      Printf.sprintf
+        "effective inputs %.1f%%   ineffective tcs %d   faulted %d"
+        eff_pct
+        (c "fuzzer.ineffective_test_cases")
+        (c "fuzzer.faulted_test_cases");
+      Printf.sprintf
+        "candidates %d   dismissed: swap %d, nesting %d   coverage combos %.0f"
+        (c "fuzzer.candidates")
+        (c "fuzzer.dismissed_by_swap")
+        (c "fuzzer.dismissed_by_nesting")
+        (g "coverage.combinations");
+      Printf.sprintf
+        "generator: insts %.0f  blocks %.0f  mem %.0f  inputs/tc %.0f   rounds %d (growths %d)"
+        (g "gen.n_insts") (g "gen.n_blocks") (g "gen.max_mem_accesses")
+        (g "gen.n_inputs") (c "fuzzer.rounds") (c "fuzzer.growths");
+      "stages: " ^ stage_share_line snap ~elapsed;
+    ]
+  in
+  if !live_lines_printed > 0 then Printf.printf "\027[%dA" !live_lines_printed;
+  List.iter (fun l -> Printf.printf "\027[2K%s\n" l) lines;
+  live_lines_printed := List.length lines;
+  flush stdout
+
+(* Satellite of the telemetry PR: the old [mod 100 = 0] progress line
+   skipped the final state entirely; every run now ends with a closing
+   stats line computed from the metrics snapshot. *)
+let closing_line ~started ~outcome =
+  let snap = Metrics.snapshot () in
+  let c = counter_of snap in
+  let elapsed = Unix.gettimeofday () -. started in
+  let tcs = c "fuzzer.test_cases" in
+  Printf.printf
+    "done: %d test cases in %.1fs (%.1f tc/s) | inputs %d (effective %d) | \
+     candidates %d (swap-dismissed %d, nesting-dismissed %d, faulted %d) | %s\n%!"
+    tcs elapsed
+    (if elapsed > 0. then float_of_int tcs /. elapsed else 0.)
+    (c "fuzzer.inputs_tested")
+    (c "fuzzer.effective_inputs")
+    (c "fuzzer.candidates")
+    (c "fuzzer.dismissed_by_swap")
+    (c "fuzzer.dismissed_by_nesting")
+    (c "fuzzer.faulted_test_cases")
+    (match outcome with
+    | Fuzzer.Violation _ -> "VIOLATION"
+    | Fuzzer.No_violation -> "no violation")
+
+let write_metrics_json path ~elapsed ~(stats : Fuzzer.stats option) =
+  let snap = Metrics.snapshot () in
+  let stages = Metrics.stage_breakdown snap in
+  let wall_ns = elapsed *. 1e9 in
+  let accounted =
+    List.fold_left (fun acc st -> acc + st.Metrics.st_total_ns) 0 stages
+  in
+  let stage_json (st : Metrics.stage) =
+    ( st.Metrics.st_name,
+      Json.Obj
+        [
+          ("calls", Json.Int st.Metrics.st_calls);
+          ("total_ns", Json.Int st.Metrics.st_total_ns);
+          ( "share",
+            Json.Float
+              (if wall_ns > 0. then float_of_int st.Metrics.st_total_ns /. wall_ns
+               else 0.) );
+        ] )
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "revizor.metrics.v1");
+        ("elapsed_s", Json.Float elapsed);
+        ( "stats",
+          match stats with Some s -> Fuzzer.stats_to_json s | None -> Json.Null
+        );
+        ("stages", Json.Obj (List.map stage_json stages));
+        ( "accounted_share",
+          Json.Float (if wall_ns > 0. then float_of_int accounted /. wall_ns else 0.)
+        );
+        ("metrics", Metrics.to_json snap);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc
+
+let do_fuzz contract target seed budget inputs minimize save_dir jobs
+    metrics_out trace_out progress =
+  (match trace_out with Some path -> Telemetry.enable_file path | None -> ());
+  if progress <> `Quiet then
+    Printf.printf "Testing %s against %s (seed %Ld, budget %d test cases)\n%!"
+      (Format.asprintf "%a" Target.pp target)
+      (Contract.name contract) seed budget;
   let cfg = Target.fuzzer_config ~seed ~n_inputs:inputs contract target in
-  let on_progress (s : Fuzzer.stats) =
-    if s.Fuzzer.test_cases mod 100 = 0 then
-      Printf.printf "  ... %d test cases, %d inputs\n%!" s.Fuzzer.test_cases
-        s.Fuzzer.inputs_tested
+  let started = Unix.gettimeofday () in
+  let last_render = ref 0. in
+  let on_progress =
+    match progress with
+    | `Quiet -> fun _ -> ()
+    | `Line ->
+        fun (s : Fuzzer.stats) ->
+          if s.Fuzzer.test_cases mod 100 = 0 then
+            Printf.printf "  ... %d test cases, %d inputs\n%!" s.Fuzzer.test_cases
+              s.Fuzzer.inputs_tested
+    | `Live ->
+        (* Time-based refresh instead of the mod-100 counter: a slow
+           configuration still updates twice a second, a fast one does
+           not spam the terminal. *)
+        fun (_ : Fuzzer.stats) ->
+          let now = Unix.gettimeofday () in
+          if now -. !last_render >= 0.5 then begin
+            last_render := now;
+            render_live ~started ()
+          end
   in
   let run () =
     if jobs > 1 then begin
@@ -68,21 +215,40 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs =
       let total =
         List.fold_left (fun acc (s : Fuzzer.stats) -> acc + s.Fuzzer.test_cases) 0 per_domain
       in
-      Printf.printf "(%d domains, %d test cases total)\n%!" jobs total;
+      if progress <> `Quiet then
+        Printf.printf "(%d domains, %d test cases total)\n%!" jobs total;
       (outcome, List.hd per_domain)
     end
     else Fuzzer.fuzz ~on_progress cfg ~budget:(Fuzzer.Test_cases budget)
   in
+  let finish outcome (stats : Fuzzer.stats) =
+    if progress = `Live then begin
+      render_live ~started ();
+      print_newline ()
+    end;
+    closing_line ~started ~outcome;
+    (match metrics_out with
+    | Some path ->
+        write_metrics_json path
+          ~elapsed:(Unix.gettimeofday () -. started)
+          ~stats:(Some stats);
+        if progress <> `Quiet then Printf.printf "[metrics written to %s]\n%!" path
+    | None -> ());
+    Telemetry.disable ()
+  in
   match run () with
   | Fuzzer.No_violation, stats ->
+      finish Fuzzer.No_violation stats;
       Format.printf "No violation detected.@.%a@." Fuzzer.pp_stats stats;
       0
   | Fuzzer.Violation v, stats ->
+      finish (Fuzzer.Violation v) stats;
       Format.printf "%a@.@.%a@." Violation.pp v Fuzzer.pp_stats stats;
       (match save_dir with
       | Some dir ->
-          Results.save_violation ~dir v;
-          Format.printf "@.Saved to %s/{violation.asm,inputs.txt,report.txt}@." dir
+          Results.save_violation ~stats ~dir v;
+          Format.printf
+            "@.Saved to %s/{violation.asm,inputs.txt,report.txt,stats.json}@." dir
       | None -> ());
       if minimize then begin
         let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
@@ -113,10 +279,39 @@ let fuzz_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Run N parallel fuzzing campaigns on separate domains.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON metrics summary (per-stage time breakdown, \
+             counters, histograms) to FILE on exit.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Stream JSONL telemetry events (per-stage spans, coverage and \
+             growth events) to FILE during the run.")
+  in
+  let progress =
+    Arg.(
+      value
+      & opt (enum [ ("quiet", `Quiet); ("line", `Line); ("live", `Live) ]) `Line
+      & info [ "progress" ] ~docv:"MODE"
+          ~doc:
+            "Progress reporting: $(b,quiet) (closing stats line only), \
+             $(b,line) (a line every 100 test cases), or $(b,live) (an \
+             in-place dashboard refreshed twice a second).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
     Term.(
       const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
-      $ inputs_arg $ minimize $ save_dir $ jobs)
+      $ inputs_arg $ minimize $ save_dir $ jobs $ metrics_out $ trace_out
+      $ progress)
 
 (* --- check: re-verify a saved counterexample -------------------------- *)
 
@@ -272,6 +467,103 @@ let reproduce_cmd =
     (Cmd.info "reproduce" ~doc:"Re-run the paper's experiments and print the tables.")
     Term.(const do_reproduce $ what $ budget $ runs $ seed_arg)
 
+(* --- telemetry-check --------------------------------------------------- *)
+
+(* Validator for the artifacts of [--metrics-out] / [--trace-out]; CI
+   runs it after the telemetry smoke fuzz. *)
+
+let read_whole path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_metrics_file path =
+  match Json.parse (read_whole path) with
+  | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+  | Ok doc -> (
+      let get k = Json.member k doc in
+      match (get "schema", get "metrics", get "stages", get "accounted_share") with
+      | Some (Json.String "revizor.metrics.v1"), Some metrics, Some (Json.Obj stages), Some share
+        -> (
+          let n_counters =
+            match Json.member "counters" metrics with
+            | Some (Json.Obj kvs) -> List.length kvs
+            | _ -> 0
+          in
+          if n_counters = 0 then
+            Error (Printf.sprintf "%s: metrics.counters is empty" path)
+          else
+            match Json.to_float share with
+            | Some s ->
+                Ok
+                  (Printf.sprintf
+                     "%s: OK (%d counters, %d stages, %.1f%% of wall time accounted)"
+                     path n_counters (List.length stages) (100. *. s))
+            | None -> Error (Printf.sprintf "%s: accounted_share not a number" path))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "%s: missing schema/metrics/stages/accounted_share keys" path))
+
+let check_trace_file path =
+  let contents = read_whole path in
+  let lines = String.split_on_char '\n' contents in
+  let spans = ref 0 and events = ref 0 and lineno = ref 0 in
+  let bad = ref None in
+  List.iter
+    (fun line ->
+      incr lineno;
+      if String.trim line <> "" && !bad = None then
+        match Telemetry.parse_line line with
+        | Ok l ->
+            if l.Telemetry.l_kind = "span" then incr spans
+            else if l.Telemetry.l_kind = "event" then incr events
+            else bad := Some (Printf.sprintf "line %d: unknown kind %S" !lineno l.Telemetry.l_kind)
+        | Error e -> bad := Some (Printf.sprintf "line %d: %s" !lineno e))
+    lines;
+  match !bad with
+  | Some e -> Error (Printf.sprintf "%s: %s" path e)
+  | None ->
+      if !spans + !events = 0 then Error (Printf.sprintf "%s: no events" path)
+      else Ok (Printf.sprintf "%s: OK (%d spans, %d events)" path !spans !events)
+
+let do_telemetry_check metrics_file trace_file =
+  let results =
+    (match metrics_file with Some p -> [ check_metrics_file p ] | None -> [])
+    @ (match trace_file with Some p -> [ check_trace_file p ] | None -> [])
+  in
+  if results = [] then begin
+    Printf.eprintf "nothing to check: pass --metrics and/or --trace\n";
+    2
+  end
+  else begin
+    List.iter
+      (function
+        | Ok msg -> Printf.printf "%s\n" msg
+        | Error msg -> Printf.eprintf "FAIL %s\n" msg)
+      results;
+    if List.for_all Result.is_ok results then 0 else 1
+  end
+
+let telemetry_check_cmd =
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE" ~doc:"Metrics JSON from --metrics-out.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"JSONL trace from --trace-out.")
+  in
+  Cmd.v
+    (Cmd.info "telemetry-check"
+       ~doc:"Validate --metrics-out / --trace-out artifacts (used by CI).")
+    Term.(const do_telemetry_check $ metrics_file $ trace_file)
+
 (* --- isa --------------------------------------------------------------- *)
 
 let do_isa () =
@@ -301,6 +593,6 @@ let main =
        ~doc:
          "Model-based Relational Testing of (simulated) black-box CPUs \
           against speculation contracts.")
-    [ fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd ]
+    [ fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd; telemetry_check_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,10 @@
+(** Monotonic process clock, nanosecond resolution.
+
+    Wraps the CLOCK_MONOTONIC stub shipped with bechamel (already a
+    project dependency) so span durations are immune to wall-clock
+    adjustments. Values are raw kernel nanoseconds; only differences and
+    offsets from {!now_ns} are meaningful. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds (fits an OCaml 63-bit int for
+    ~146 years of uptime). *)

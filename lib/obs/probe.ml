@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  total_ns : Metrics.counter;
+  calls : Metrics.counter;
+  hist : Metrics.histogram;
+}
+
+let create name =
+  {
+    name = "stage." ^ name;
+    total_ns = Metrics.counter ("stage." ^ name ^ ".ns");
+    calls = Metrics.counter ("stage." ^ name ^ ".calls");
+    hist = Metrics.histogram ("stage." ^ name ^ ".hist_ns");
+  }
+
+let record t start_ns =
+  let dur = Clock.now_ns () - start_ns in
+  Metrics.add t.total_ns dur;
+  Metrics.incr t.calls;
+  Metrics.observe t.hist dur;
+  if Telemetry.enabled () then Telemetry.span t.name ~start_ns ~dur_ns:dur
+
+let with_span t f =
+  let start_ns = Clock.now_ns () in
+  match f () with
+  | r ->
+      record t start_ns;
+      r
+  | exception e ->
+      record t start_ns;
+      raise e
+
+let time_ns t = Metrics.value t.total_ns

@@ -1,0 +1,24 @@
+(** Scoped timing probes.
+
+    A probe names a pipeline stage and owns three registry metrics —
+    ["stage.<name>.ns"] (cumulative time), ["stage.<name>.calls"] and
+    ["stage.<name>.hist_ns"] (log2 latency histogram) — which
+    {!Metrics.stage_breakdown} and the CLI dashboards aggregate into the
+    per-stage time accounting. {!with_span} additionally emits a JSONL
+    span when the telemetry sink is enabled; when it is disabled the cost
+    is two monotonic-clock reads and three atomic updates, with no
+    allocation. *)
+
+type t
+
+val create : string -> t
+(** [create "model"] registers the [stage.model.*] metrics. Probes are
+    meant to be hoisted to module level. *)
+
+val with_span : t -> (unit -> 'a) -> 'a
+(** Time [f ()], record into the probe's metrics, and (when enabled)
+    emit a telemetry span. The duration is recorded even if [f]
+    raises. *)
+
+val time_ns : t -> int
+(** Cumulative nanoseconds recorded so far. *)

@@ -1,0 +1,103 @@
+type target = To_channel of out_channel | To_buffer of Buffer.t
+
+type sink = {
+  target : target;
+  t0 : int;  (* Clock.now_ns at enable time *)
+  lock : Mutex.t;
+  mutable context : (string * Json.t) list;
+}
+
+(* The sink is installed/removed rarely and read on every emit guard:
+   an Atomic read keeps the disabled check one load with no lock. *)
+let current : sink option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get current <> None
+
+let install target =
+  Atomic.set current
+    (Some { target; t0 = Clock.now_ns (); lock = Mutex.create (); context = [] })
+
+let disable () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      Atomic.set current None;
+      (match s.target with
+      | To_channel oc -> close_out oc
+      | To_buffer _ -> ())
+
+let enable_file path =
+  disable ();
+  install (To_channel (open_out path))
+
+let enable_buffer buf =
+  disable ();
+  install (To_buffer buf)
+
+let set_context fields =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      Mutex.lock s.lock;
+      s.context <- fields;
+      Mutex.unlock s.lock
+
+type line = {
+  l_ts : int;
+  l_kind : string;
+  l_name : string;
+  l_fields : (string * Json.t) list;
+}
+
+let render_line l =
+  Json.to_string
+    (Json.Obj
+       (("ts", Json.Int l.l_ts)
+       :: ("kind", Json.String l.l_kind)
+       :: ("name", Json.String l.l_name)
+       :: l.l_fields))
+
+let parse_line s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok (Json.Obj kvs) -> (
+      let rest =
+        List.filter (fun (k, _) -> k <> "ts" && k <> "kind" && k <> "name") kvs
+      in
+      match
+        ( Option.bind (List.assoc_opt "ts" kvs) Json.to_int,
+          Option.bind (List.assoc_opt "kind" kvs) Json.to_str,
+          Option.bind (List.assoc_opt "name" kvs) Json.to_str )
+      with
+      | Some ts, Some kind, Some name ->
+          Ok { l_ts = ts; l_kind = kind; l_name = name; l_fields = rest }
+      | _ -> Error "line missing ts/kind/name")
+  | Ok _ -> Error "line is not a JSON object"
+
+let emit kind name fields =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      let ts = Clock.now_ns () - s.t0 in
+      Mutex.lock s.lock;
+      let text =
+        render_line
+          { l_ts = ts; l_kind = kind; l_name = name; l_fields = s.context @ fields }
+      in
+      (match s.target with
+      | To_channel oc ->
+          output_string oc text;
+          output_char oc '\n'
+      | To_buffer buf ->
+          Buffer.add_string buf text;
+          Buffer.add_char buf '\n');
+      Mutex.unlock s.lock
+
+let event name fields = emit "event" name fields
+
+let span name ~start_ns ~dur_ns =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+      emit "span" name
+        [ ("start", Json.Int (start_ns - s.t0)); ("dur_ns", Json.Int dur_ns) ]

@@ -1,4 +1,17 @@
 open Revizor_uarch
+module Metrics = Revizor_obs.Metrics
+
+(* Distribution telemetry: how many observations a hardware trace
+   carries (htrace density) and how the inputs partition into contract
+   classes (class sizes, singletons included). Both are deterministic
+   per seed, so they participate in the snapshot-determinism tests. *)
+let h_class_size = Metrics.histogram "analyzer.class_size"
+let m_partitions = Metrics.counter "analyzer.partitions"
+let m_classes = Metrics.counter "analyzer.classes"
+let h_htrace_density = Metrics.histogram "analyzer.htrace_density"
+
+let record_htraces htraces =
+  Array.iter (fun h -> Metrics.observe h_htrace_density (Htrace.cardinal h)) htraces
 
 type input_class = { ctrace : Ctrace.t; members : int list }
 
@@ -29,8 +42,11 @@ let input_classes ctraces =
           Hashtbl.replace tbl key (a :: bucket);
           order := a :: !order)
     ctraces;
+  Metrics.incr m_partitions;
   List.filter_map
     (fun a ->
+      Metrics.incr m_classes;
+      Metrics.observe h_class_size (List.length a.rev_members);
       match a.rev_members with
       | [] | [ _ ] -> None
       | ms -> Some { ctrace = a.a_ctrace; members = List.rev ms })

@@ -22,7 +22,14 @@ type candidate = {
 }
 
 val input_classes : Ctrace.t array -> input_class list
-(** Classes with at least two members, in order of first appearance. *)
+(** Classes with at least two members, in order of first appearance.
+    Also feeds the [analyzer.class_size] histogram and class counters of
+    the metrics registry (singletons included in the histogram). *)
+
+val record_htraces : Htrace.t array -> unit
+(** Observe each trace's cardinality into the [analyzer.htrace_density]
+    histogram — called by the fuzzer once per measured test case, so the
+    distribution is not skewed by swap-check re-measurements. *)
 
 val effective_inputs : input_class list -> int
 (** Total number of inputs that belong to a multi-member class. *)

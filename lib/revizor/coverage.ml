@@ -94,11 +94,32 @@ type t = {
 
 let create () = { singles = []; combos = PSet.empty }
 
+let g_singles = Revizor_obs.Metrics.gauge "coverage.singles"
+let g_combos = Revizor_obs.Metrics.gauge "coverage.combinations"
+let m_new_combos = Revizor_obs.Metrics.counter "coverage.new_combinations"
+
 let register t ~patterns ~effective =
   if effective && patterns <> [] then begin
     let sorted = List.sort_uniq Stdlib.compare patterns in
     t.singles <- List.sort_uniq Stdlib.compare (sorted @ t.singles);
-    t.combos <- PSet.add sorted t.combos
+    let fresh = not (PSet.mem sorted t.combos) in
+    t.combos <- PSet.add sorted t.combos;
+    if fresh then begin
+      Revizor_obs.Metrics.incr m_new_combos;
+      Revizor_obs.Metrics.set_gauge g_singles
+        (float_of_int (List.length t.singles));
+      Revizor_obs.Metrics.set_gauge g_combos
+        (float_of_int (PSet.cardinal t.combos));
+      if Revizor_obs.Telemetry.enabled () then
+        Revizor_obs.Telemetry.event "coverage.combo"
+          [
+            ( "patterns",
+              Revizor_obs.Json.String
+                (String.concat "+" (List.map pattern_to_string sorted)) );
+            ("combinations", Revizor_obs.Json.Int (PSet.cardinal t.combos));
+            ("singles", Revizor_obs.Json.Int (List.length t.singles));
+          ]
+    end
   end
 
 let covered t p = List.mem p t.singles

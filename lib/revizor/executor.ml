@@ -1,4 +1,19 @@
 open Revizor_uarch
+module Metrics = Revizor_obs.Metrics
+
+(* Measurement-volume and noise-filter attribution counters: how many
+   hardware runs a campaign really paid for, and how often the injected
+   noise model perturbed a trace (the counts the outlier filter has to
+   absorb). *)
+let m_measures = Metrics.counter "executor.measures"
+let m_reps = Metrics.counter "executor.measurement_reps"
+let m_warmups = Metrics.counter "executor.warmup_rounds"
+let m_sequences = Metrics.counter "executor.sequences"
+let m_input_runs = Metrics.counter "executor.input_runs"
+let m_swap_measures = Metrics.counter "executor.swap_measurements"
+let m_noise_added = Metrics.counter "executor.noise.added"
+let m_noise_dropped = Metrics.counter "executor.noise.dropped"
+
 type noise = { flip_probability : float; rng : Prng.t }
 
 type config = {
@@ -42,13 +57,17 @@ let apply_noise cfg trace =
       let trace = ref trace in
       (* Possibly add one spurious observation... *)
       if Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000. < n.flip_probability
-      then trace := Htrace.add (Prng.int n.rng domain) !trace;
+      then begin
+        Metrics.incr m_noise_added;
+        trace := Htrace.add (Prng.int n.rng domain) !trace
+      end;
       (* ... and possibly drop one real one. *)
       if
         (not (Htrace.is_empty !trace))
         && Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000.
            < n.flip_probability
       then begin
+        Metrics.incr m_noise_dropped;
         (* k-th smallest element straight off the bitset: no element-list
            materialization, no O(n²) [List.nth] walk. *)
         let victim = Htrace.nth !trace (Prng.int n.rng (Htrace.cardinal !trace)) in
@@ -68,6 +87,8 @@ let last_data_word =
    the PRNG stream (a sequence runs many times: warm-up rounds,
    measurement repetitions and swap-check re-measurements). *)
 let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
+  Metrics.incr m_sequences;
+  Metrics.add m_input_runs (Array.length templates);
   Array.iteri
     (fun idx template ->
       if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
@@ -101,6 +122,9 @@ let templates_of inputs = function
 let measure ?templates t flat inputs =
   let templates = templates_of inputs templates in
   let n = Array.length templates in
+  Metrics.incr m_measures;
+  Metrics.add m_warmups t.cfg.warmup_rounds;
+  Metrics.add m_reps (max 1 t.cfg.measurement_reps);
   Cpu.reset_session t.cpu;
   for _ = 1 to t.cfg.warmup_rounds do
     run_sequence t flat templates ~record:(fun _ _ _ -> ())
@@ -135,6 +159,7 @@ let htraces ?templates t flat inputs =
   Array.map (fun m -> m.htrace) (measure ?templates t flat inputs)
 
 let swap_check ?templates ?base t flat inputs a b =
+  Metrics.incr m_swap_measures;
   let templates = templates_of inputs templates in
   (* Without noise every measurement is a pure function of (templates,
      session reset), so the unswapped baseline the caller has already

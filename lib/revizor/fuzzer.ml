@@ -1,5 +1,40 @@
 open Revizor_isa
 open Revizor_uarch
+module Metrics = Revizor_obs.Metrics
+module Probe = Revizor_obs.Probe
+module Telemetry = Revizor_obs.Telemetry
+module Json = Revizor_obs.Json
+
+(* Per-stage probes (§"Observability", DESIGN.md §7): each names a
+   [stage.<name>.*] metric triple and emits a JSONL span when the
+   telemetry sink is enabled. Together the stages account for the
+   pipeline's wall time, so the dashboards and the bench stage-breakdown
+   table are computed from these. *)
+let sp_generate = Probe.create "generate"
+let sp_compile = Probe.create "compile"
+let sp_model = Probe.create "model"
+let sp_execute = Probe.create "execute"
+let sp_analyze = Probe.create "analyze"
+let sp_swap_check = Probe.create "swap_check"
+let sp_nesting = Probe.create "nesting_recheck"
+
+(* Registry mirrors of [stats]: same totals, but process-wide (parallel
+   campaigns sum into them) and snapshotable mid-run by dashboards. *)
+let m_test_cases = Metrics.counter "fuzzer.test_cases"
+let m_inputs_tested = Metrics.counter "fuzzer.inputs_tested"
+let m_effective = Metrics.counter "fuzzer.effective_inputs"
+let m_ineffective_tc = Metrics.counter "fuzzer.ineffective_test_cases"
+let m_faulted = Metrics.counter "fuzzer.faulted_test_cases"
+let m_candidates = Metrics.counter "fuzzer.candidates"
+let m_dismissed_swap = Metrics.counter "fuzzer.dismissed_by_swap"
+let m_dismissed_nesting = Metrics.counter "fuzzer.dismissed_by_nesting"
+let m_rounds = Metrics.counter "fuzzer.rounds"
+let m_growths = Metrics.counter "fuzzer.growths"
+let g_n_insts = Metrics.gauge "gen.n_insts"
+let g_n_blocks = Metrics.gauge "gen.n_blocks"
+let g_max_mem = Metrics.gauge "gen.max_mem_accesses"
+let g_n_inputs = Metrics.gauge "gen.n_inputs"
+let g_elapsed = Metrics.gauge "fuzzer.elapsed_s"
 
 (* Which execution engine runs the test programs. [Compiled] is the
    decode-once closure engine; [Interpreted] routes every step through
@@ -87,7 +122,10 @@ let nesting_recheck ?pool ?templates config prog inputs measurements
   if config.contract.Contract.nesting then true
   else begin
     let nested = Contract.with_nesting config.contract in
-    let results = model_ctraces ?pool ?templates nested prog inputs in
+    let results =
+      Probe.with_span sp_nesting (fun () ->
+          model_ctraces ?pool ?templates nested prog inputs)
+    in
     if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
     else
       let ctraces =
@@ -127,14 +165,18 @@ let check_test_case_full ?pool config executor program inputs :
          (including the nesting re-check), every executor warm-up round,
          measurement repetition and swap-check re-measurement all reuse
          the same decoded descriptors and action closures. *)
-      let prog = compile_with config.engine flat in
-      (* Materialize each input's architectural state exactly once per
-         test case; the model passes, the executor's warm-up/measurement
-         repetitions and the swap-check re-measurements all blit-restore
-         these templates. *)
-      let templates = Input.templates inputs in
+      let prog, templates =
+        Probe.with_span sp_compile (fun () ->
+            let prog = compile_with config.engine flat in
+            (* Materialize each input's architectural state exactly once per
+               test case; the model passes, the executor's warm-up/measurement
+               repetitions and the swap-check re-measurements all blit-restore
+               these templates. *)
+            (prog, Input.templates inputs))
+      in
       let results =
-        model_ctraces ?pool ~templates config.contract prog inputs
+        Probe.with_span sp_model (fun () ->
+            model_ctraces ?pool ~templates config.contract prog inputs)
       in
       if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
         Error "architectural fault"
@@ -148,8 +190,11 @@ let check_test_case_full ?pool config executor program inputs :
           | first :: _ -> Coverage.patterns_of_stream first.Model.stream
           | [] -> []
         in
-        let classes = Analyzer.input_classes ctraces in
-        let effective = Analyzer.effective_inputs classes in
+        let classes, effective =
+          Probe.with_span sp_analyze (fun () ->
+              let classes = Analyzer.input_classes ctraces in
+              (classes, Analyzer.effective_inputs classes))
+        in
         let no_violation ?(candidate_seen = false) ?(dismissed_swap = false)
             ?(dismissed_nesting = false) () =
           Ok
@@ -164,12 +209,16 @@ let check_test_case_full ?pool config executor program inputs :
         in
         if classes = [] then no_violation ()
         else
-          let measurements = Executor.measure ~templates executor prog inputs in
+          let measurements =
+            Probe.with_span sp_execute (fun () ->
+                Executor.measure ~templates executor prog inputs)
+          in
           let htraces =
             Array.map
               (fun (m : Executor.measurement) -> m.Executor.htrace)
               measurements
           in
+          Analyzer.record_htraces htraces;
           (* A dismissed pair does not clear the test case: another pair of
              the same measurement set may witness a genuine (data-caused)
              divergence, so retry a bounded number of candidates. *)
@@ -186,9 +235,10 @@ let check_test_case_full ?pool config executor program inputs :
                   let pair = (cand.Analyzer.index_a, cand.Analyzer.index_b) in
                   if
                     not
-                      (Executor.swap_check ~templates ~base:htraces executor
-                         prog inputs
-                         cand.Analyzer.index_a cand.Analyzer.index_b)
+                      (Probe.with_span sp_swap_check (fun () ->
+                           Executor.swap_check ~templates ~base:htraces executor
+                             prog inputs
+                             cand.Analyzer.index_a cand.Analyzer.index_b))
                   then
                     hunt (pair :: excluding) (attempts - 1) ~swapped:true ~nested
                   else if
@@ -256,6 +306,12 @@ let check_test_case ?pool config executor program inputs =
   Result.map (fun c -> c.violation)
     (check_test_case_full ?pool config executor program inputs)
 
+let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
+  Metrics.set_gauge g_n_insts (float_of_int cfg.Generator.n_insts);
+  Metrics.set_gauge g_n_blocks (float_of_int cfg.Generator.n_blocks);
+  Metrics.set_gauge g_max_mem (float_of_int cfg.Generator.max_mem_accesses);
+  Metrics.set_gauge g_n_inputs (float_of_int n_inputs)
+
 let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
   let prng = Prng.create ~seed:config.seed in
   let cpu = Cpu.create config.uarch in
@@ -269,6 +325,16 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
   let started = Unix.gettimeofday () in
   let gen_cfg = ref config.gen_cfg in
   let n_inputs = ref config.n_inputs in
+  set_gen_gauges !gen_cfg ~n_inputs:!n_inputs;
+  if Telemetry.enabled () then
+    Telemetry.event "fuzz.start"
+      [
+        ("seed", Json.String (Printf.sprintf "0x%Lx" config.seed));
+        ("contract", Json.String (Contract.name config.contract));
+        ("uarch", Json.String config.uarch.Uarch_config.name);
+        ("n_inputs", Json.Int config.n_inputs);
+        ("model_domains", Json.Int config.model_domains);
+      ];
   let combos_at_round_start = ref 0 in
   let in_round = ref 0 in
   let exhausted () =
@@ -282,30 +348,55 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
   while !result = No_violation && not (exhausted ()) do
     stats.test_cases <- stats.test_cases + 1;
+    Metrics.incr m_test_cases;
+    if Telemetry.enabled () then
+      Telemetry.set_context [ ("tc", Json.Int stats.test_cases) ];
     in_round := !in_round + 1;
-    let program = Generator.generate prng !gen_cfg in
-    let inputs =
-      Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
+    let program, inputs =
+      Probe.with_span sp_generate (fun () ->
+          let program = Generator.generate prng !gen_cfg in
+          let inputs =
+            Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
+          in
+          (program, inputs))
     in
     stats.inputs_tested <- stats.inputs_tested + List.length inputs;
+    Metrics.add m_inputs_tested (List.length inputs);
     (match check_test_case_full ?pool config executor program inputs with
-    | Error _ -> stats.faulted_test_cases <- stats.faulted_test_cases + 1
+    | Error _ ->
+        stats.faulted_test_cases <- stats.faulted_test_cases + 1;
+        Metrics.incr m_faulted
     | Ok checked ->
         stats.effective_inputs <- stats.effective_inputs + checked.effective;
-        if checked.effective = 0 then
+        Metrics.add m_effective checked.effective;
+        if checked.effective = 0 then begin
           stats.ineffective_test_cases <- stats.ineffective_test_cases + 1;
-        if checked.candidate_seen then stats.candidates <- stats.candidates + 1;
-        if checked.dismissed_swap then
+          Metrics.incr m_ineffective_tc
+        end;
+        if checked.candidate_seen then begin
+          stats.candidates <- stats.candidates + 1;
+          Metrics.incr m_candidates
+        end;
+        if checked.dismissed_swap then begin
           stats.dismissed_by_swap <- stats.dismissed_by_swap + 1;
-        if checked.dismissed_nesting then
+          Metrics.incr m_dismissed_swap
+        end;
+        if checked.dismissed_nesting then begin
           stats.dismissed_by_nesting <- stats.dismissed_by_nesting + 1;
+          Metrics.incr m_dismissed_nesting
+        end;
         Coverage.register coverage ~patterns:checked.patterns
           ~effective:(checked.effective > 0);
         (match checked.violation with
-        | Some v -> result := Violation v
+        | Some v ->
+            result := Violation v;
+            if Telemetry.enabled () then
+              Telemetry.event "fuzz.violation"
+                [ ("summary", Json.String (Violation.summary v)) ]
         | None -> ()));
     if !in_round >= config.round_length && !result = No_violation then begin
       stats.rounds <- stats.rounds + 1;
+      Metrics.incr m_rounds;
       in_round := 0;
       if
         Coverage.should_grow coverage
@@ -313,14 +404,36 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
           ~round_length:config.round_length
       then begin
         stats.growths <- stats.growths + 1;
+        Metrics.incr m_growths;
         gen_cfg := Generator.grow !gen_cfg;
-        n_inputs := min 400 (!n_inputs + (!n_inputs / 2))
+        n_inputs := min 400 (!n_inputs + (!n_inputs / 2));
+        set_gen_gauges !gen_cfg ~n_inputs:!n_inputs
       end;
-      combos_at_round_start := Coverage.total_combinations coverage
+      combos_at_round_start := Coverage.total_combinations coverage;
+      if Telemetry.enabled () then
+        Telemetry.event "fuzz.round"
+          [
+            ("round", Json.Int stats.rounds);
+            ("combinations", Json.Int !combos_at_round_start);
+          ]
     end;
     match on_progress with Some f -> f stats | None -> ()
   done;
   stats.elapsed_s <- Unix.gettimeofday () -. started;
+  Metrics.set_gauge g_elapsed
+    (Metrics.gauge_value g_elapsed +. stats.elapsed_s);
+  if Telemetry.enabled () then begin
+    Telemetry.set_context [];
+    Telemetry.event "fuzz.end"
+      [
+        ("test_cases", Json.Int stats.test_cases);
+        ("elapsed_s", Json.Float stats.elapsed_s);
+        ( "outcome",
+          Json.String
+            (match !result with Violation _ -> "violation" | No_violation -> "none")
+        );
+      ]
+  end;
   (!result, stats)
 
 let fuzz_parallel ?(domains = 4) config ~budget =
@@ -354,6 +467,46 @@ let fuzz_parallel ?(domains = 4) config ~budget =
     | None -> No_violation
   in
   (outcome, List.map snd results)
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("test_cases", Json.Int s.test_cases);
+      ("inputs_tested", Json.Int s.inputs_tested);
+      ("effective_inputs", Json.Int s.effective_inputs);
+      ("ineffective_test_cases", Json.Int s.ineffective_test_cases);
+      ("faulted_test_cases", Json.Int s.faulted_test_cases);
+      ("candidates", Json.Int s.candidates);
+      ("dismissed_by_swap", Json.Int s.dismissed_by_swap);
+      ("dismissed_by_nesting", Json.Int s.dismissed_by_nesting);
+      ("rounds", Json.Int s.rounds);
+      ("growths", Json.Int s.growths);
+      ("elapsed_s", Json.Float s.elapsed_s);
+    ]
+
+let stats_of_json j =
+  let geti k = Option.bind (Json.member k j) Json.to_int in
+  match geti "test_cases" with
+  | None -> Error "stats object missing test_cases"
+  | Some test_cases ->
+      let i k = Option.value (geti k) ~default:0 in
+      Ok
+        {
+          test_cases;
+          inputs_tested = i "inputs_tested";
+          effective_inputs = i "effective_inputs";
+          ineffective_test_cases = i "ineffective_test_cases";
+          faulted_test_cases = i "faulted_test_cases";
+          candidates = i "candidates";
+          dismissed_by_swap = i "dismissed_by_swap";
+          dismissed_by_nesting = i "dismissed_by_nesting";
+          rounds = i "rounds";
+          growths = i "growths";
+          elapsed_s =
+            Option.value
+              (Option.bind (Json.member "elapsed_s" j) Json.to_float)
+              ~default:0.;
+        }
 
 let pp_stats fmt s =
   Format.fprintf fmt

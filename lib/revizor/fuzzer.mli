@@ -100,3 +100,11 @@ val check_test_case :
     (see {!type:config}[.model_domains]); {!fuzz} manages its own pool. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_json : stats -> Revizor_obs.Json.t
+(** Flat object keyed by field name, as stored in [stats.json] by
+    {!Results.save_violation}. *)
+
+val stats_of_json : Revizor_obs.Json.t -> (stats, string) result
+(** Inverse of {!stats_to_json}. Missing fields other than [test_cases]
+    default to zero, so the format can grow fields. *)

@@ -114,9 +114,28 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) prog (state : State.t)
 let run ?max_steps contract prog input =
   run_state ?max_steps contract prog (Input.to_state input)
 
+(* Per-input model cost: one counter increment and a log2 histogram
+   sample per contract trace, updated from whichever domain ran it. *)
+let m_inputs = Revizor_obs.Metrics.counter "model.inputs"
+let m_total_ns = Revizor_obs.Metrics.counter "model.input_total_ns"
+let h_input_ns = Revizor_obs.Metrics.histogram "model.input_ns"
+
+let timed_run_state ?max_steps contract prog state =
+  let t0 = Revizor_obs.Clock.now_ns () in
+  let r = run_state ?max_steps contract prog state in
+  let dt = Revizor_obs.Clock.now_ns () - t0 in
+  Revizor_obs.Metrics.incr m_inputs;
+  Revizor_obs.Metrics.add m_total_ns dt;
+  Revizor_obs.Metrics.observe h_input_ns dt;
+  r
+
 let ctraces ?max_steps ?templates contract prog inputs =
   match templates with
-  | None -> List.map (run ?max_steps contract prog) inputs
+  | None ->
+      List.map
+        (fun input ->
+          timed_run_state ?max_steps contract prog (Input.to_state input))
+        inputs
   | Some tpl ->
       (* One scratch state, restored from each input's template by a flat
          blit instead of regenerating the PRNG stream. *)
@@ -124,7 +143,7 @@ let ctraces ?max_steps ?templates contract prog inputs =
       List.mapi
         (fun i _ ->
           State.copy_into tpl.(i) ~dst:scratch;
-          run_state ?max_steps contract prog scratch)
+          timed_run_state ?max_steps contract prog scratch)
         inputs
 
 let ctraces_par ?max_steps ?templates pool contract prog inputs =
@@ -142,7 +161,7 @@ let ctraces_par ?max_steps ?templates pool contract prog inputs =
             | Some tpl -> State.copy tpl.(i)
             | None -> Input.to_state arr.(i)
           in
-          run_state ?max_steps contract prog state)
+          timed_run_state ?max_steps contract prog state)
         indices
     in
     Array.to_list results

@@ -14,7 +14,20 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  task_counters : Revizor_obs.Metrics.counter array;
+      (* per-participant utilization: slot 0 is the submitting domain,
+         slots 1.. are the workers; [pool.domain<i>.tasks] in the
+         registry. Inherently scheduling-dependent, hence excluded from
+         the cross-domain determinism guarantees. *)
 }
+
+(* Which pool slot the current domain occupies, for utilization
+   accounting: workers set their slot once at spawn; the submitting
+   domain re-asserts slot 0 on every [map_array]. *)
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+let m_map_calls = Revizor_obs.Metrics.counter "pool.map_calls"
+let m_items = Revizor_obs.Metrics.counter "pool.items"
 
 let worker p =
   let rec loop () =
@@ -42,10 +55,17 @@ let create size =
       queue = Queue.create ();
       stopped = false;
       workers = [];
+      task_counters =
+        Array.init size (fun i ->
+            Revizor_obs.Metrics.counter (Printf.sprintf "pool.domain%d.tasks" i));
     }
   in
   if size > 1 then
-    p.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+    p.workers <-
+      List.init (size - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set slot_key (i + 1);
+              worker p));
   p
 
 let size p = p.size
@@ -60,6 +80,9 @@ let map_array p f arr =
   let n = Array.length arr in
   if p.size <= 1 || n <= 1 then Array.map f arr
   else begin
+    Domain.DLS.set slot_key 0;
+    Revizor_obs.Metrics.incr m_map_calls;
+    Revizor_obs.Metrics.add m_items n;
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
@@ -81,6 +104,7 @@ let map_array p f arr =
              (match f arr.(i) with
              | v -> Some (Ok v)
              | exception e -> Some (Error e)));
+          Revizor_obs.Metrics.incr p.task_counters.(Domain.DLS.get slot_key);
           if Atomic.fetch_and_add remaining (-1) = 1 then begin
             Mutex.lock done_lock;
             Condition.signal all_done;

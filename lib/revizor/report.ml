@@ -137,3 +137,66 @@ let entropy_sweep rows =
     (List.map
        (fun (e, f) -> [ string_of_int e; Printf.sprintf "%.1f%%" (100. *. f) ])
        rows)
+
+(* --- telemetry renderers (DESIGN.md §7) ----------------------------- *)
+
+module Metrics = Revizor_obs.Metrics
+
+let stage_table (s : Metrics.summary) ~elapsed_s =
+  let stages = Metrics.stage_breakdown s in
+  let wall_ns = elapsed_s *. 1e9 in
+  let accounted =
+    List.fold_left (fun acc st -> acc + st.Metrics.st_total_ns) 0 stages
+  in
+  let row (st : Metrics.stage) =
+    [
+      st.Metrics.st_name;
+      string_of_int st.Metrics.st_calls;
+      Printf.sprintf "%.1f" (float_of_int st.Metrics.st_total_ns /. 1e6);
+      (if wall_ns > 0. then
+         Printf.sprintf "%.1f%%" (100. *. float_of_int st.Metrics.st_total_ns /. wall_ns)
+       else "-");
+      (if st.Metrics.st_calls > 0 then
+         Printf.sprintf "%.1f"
+           (float_of_int st.Metrics.st_total_ns
+           /. float_of_int st.Metrics.st_calls /. 1e3)
+       else "-");
+    ]
+  in
+  let footer =
+    [
+      "(accounted)";
+      "";
+      Printf.sprintf "%.1f" (float_of_int accounted /. 1e6);
+      (if wall_ns > 0. then
+         Printf.sprintf "%.1f%%" (100. *. float_of_int accounted /. wall_ns)
+       else "-");
+      "";
+    ]
+  in
+  render_table
+    ~header:[ "Stage"; "Calls"; "Total ms"; "% wall"; "Mean us" ]
+    (List.map row stages @ [ footer ])
+
+let metrics_table (s : Metrics.summary) =
+  let counter_rows =
+    List.map (fun (n, v) -> [ n; "counter"; string_of_int v ]) s.Metrics.counters
+  in
+  let gauge_rows =
+    List.map (fun (n, v) -> [ n; "gauge"; Printf.sprintf "%g" v ]) s.Metrics.gauges
+  in
+  let hist_rows =
+    List.map
+      (fun (n, (h : Metrics.hist_summary)) ->
+        [
+          n;
+          "histogram";
+          Printf.sprintf "count=%d sum=%d mean=%.1f" h.Metrics.h_count
+            h.Metrics.h_sum
+            (if h.Metrics.h_count = 0 then 0.
+             else float_of_int h.Metrics.h_sum /. float_of_int h.Metrics.h_count);
+        ])
+      s.Metrics.histograms
+  in
+  render_table ~header:[ "Metric"; "Kind"; "Value" ]
+    (counter_rows @ gauge_rows @ hist_rows)

@@ -17,3 +17,13 @@ val sensitivity : (string * string * bool) list -> string
 val throughput : Experiments.throughput -> string
 val ablation : Experiments.ablation -> string
 val entropy_sweep : (int * float) list -> string
+
+val stage_table : Revizor_obs.Metrics.summary -> elapsed_s:float -> string
+(** Per-stage time breakdown (calls, total ms, share of [elapsed_s]
+    wall time, mean call cost) from the [stage.*] metrics, plus an
+    "accounted" footer row — the ≥95% wall-time accounting check of the
+    telemetry layer reads that row. *)
+
+val metrics_table : Revizor_obs.Metrics.summary -> string
+(** Every registered counter, gauge and histogram as an aligned table
+    (histograms as count/sum/mean). *)

@@ -61,7 +61,20 @@ let rec mkdir_p dir =
     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   end
 
-let save_violation ~dir (v : Violation.t) =
+module Json = Revizor_obs.Json
+
+type saved_stats = { stats : Fuzzer.stats option; metrics : Json.t }
+
+let stats_json ?stats ~metrics () =
+  Json.Obj
+    [
+      ("schema", Json.String "revizor.stats.v1");
+      ( "stats",
+        match stats with Some s -> Fuzzer.stats_to_json s | None -> Json.Null );
+      ("metrics", Revizor_obs.Metrics.to_json metrics);
+    ]
+
+let save_violation ?stats ?metrics ~dir (v : Violation.t) =
   mkdir_p dir;
   write_file
     (Filename.concat dir "violation.asm")
@@ -69,4 +82,26 @@ let save_violation ~dir (v : Violation.t) =
   save_inputs (Filename.concat dir "inputs.txt") v.Violation.inputs;
   write_file
     (Filename.concat dir "report.txt")
-    (Format.asprintf "%a@." Violation.pp v)
+    (Format.asprintf "%a@." Violation.pp v);
+  let metrics =
+    match metrics with Some m -> m | None -> Revizor_obs.Metrics.snapshot ()
+  in
+  write_file
+    (Filename.concat dir "stats.json")
+    (Json.to_string_pretty (stats_json ?stats ~metrics ()) ^ "\n")
+
+let load_stats path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          let metrics = Option.value (Json.member "metrics" j) ~default:Json.Null in
+          match Json.member "stats" j with
+          | None -> Error (Printf.sprintf "%s: missing stats key" path)
+          | Some Json.Null -> Ok { stats = None; metrics }
+          | Some sj -> (
+              match Fuzzer.stats_of_json sj with
+              | Ok s -> Ok { stats = Some s; metrics }
+              | Error e -> Error (Printf.sprintf "%s: %s" path e))))

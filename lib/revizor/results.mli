@@ -6,9 +6,25 @@ open Revizor_isa
     human-readable report. Saved test cases can be reloaded and re-checked
     with {!Fuzzer.check_test_case}. *)
 
-val save_violation : dir:string -> Violation.t -> unit
-(** Writes [dir/violation.asm], [dir/inputs.txt] and [dir/report.txt]
-    (creating [dir] if needed). *)
+val save_violation :
+  ?stats:Fuzzer.stats ->
+  ?metrics:Revizor_obs.Metrics.summary ->
+  dir:string ->
+  Violation.t ->
+  unit
+(** Writes [dir/violation.asm], [dir/inputs.txt], [dir/report.txt] and
+    [dir/stats.json] (creating [dir] if needed). [stats.json] captures
+    the fuzzing statistics at detection time ([stats], omitted as [null]
+    when not given) together with a metrics-registry snapshot
+    ([metrics], defaulting to a fresh {!Revizor_obs.Metrics.snapshot}). *)
+
+type saved_stats = {
+  stats : Fuzzer.stats option;
+  metrics : Revizor_obs.Json.t;  (** as produced by {!Revizor_obs.Metrics.to_json} *)
+}
+
+val load_stats : string -> (saved_stats, string) result
+(** Read back a [stats.json]. *)
 
 val load_program : string -> (Program.t, string) result
 (** Parse a saved [*.asm] file. *)
