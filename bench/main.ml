@@ -144,7 +144,7 @@ let print_sensitivity () =
 let print_throughput () =
   section "Appendix A.5.3: fuzzing throughput (non-detecting configuration)";
   (* Reset the registry so the stage breakdown below covers exactly this
-     run, then snapshot it for the BENCH_PR4.json artifact. *)
+     run, then snapshot it for the BENCH_PR5.json artifact. *)
   Metrics.reset ();
   let t0 = Unix.gettimeofday () in
   let t = Experiments.throughput ~seconds:(if fast then 2. else 10.) ~seed () in
@@ -217,6 +217,49 @@ let telemetry_overhead () =
     \  sink overhead: %+.1f%%\n"
     iters disabled_ms enabled_ms (100. *. overhead);
   (disabled_ms, enabled_ms, overhead)
+
+(* --- Checkpoint overhead (PR 5) ---------------------------------------- *)
+
+(* Runs a campaign with periodic checkpointing at the CLI's default
+   cadence (a full state snapshot + atomic JSON write every 50 test
+   cases, plus the final boundary checkpoint) and reports the wall-time
+   share of the [stage.checkpoint] span, which brackets exactly the
+   snapshot + serialization + write path. The span share is the right
+   instrument here: the effect is ~1ms per checkpoint against a
+   multi-second campaign, below the run-to-run noise an A/B timing of
+   whole campaigns would have to overcome. The acceptance bar is <1%. *)
+let checkpoint_overhead () =
+  section "Checkpoint overhead (default cadence, span share)";
+  let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target1 in
+  let n_cases = if fast then 150 else 400 in
+  let path = Filename.temp_file "revizor_bench_ckpt" ".json" in
+  Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Fuzzer.fuzz cfg ~checkpoint_every:50
+       ~on_checkpoint:(fun snap -> Campaign.save ~path cfg snap)
+       ~budget:(Fuzzer.Test_cases n_cases));
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (try Sys.remove path with Sys_error _ -> ());
+  let calls, ckpt_ms =
+    match
+      List.find_opt
+        (fun (st : Metrics.stage) -> st.Metrics.st_name = "checkpoint")
+        (Metrics.stage_breakdown (Metrics.snapshot ()))
+    with
+    | Some st -> (st.Metrics.st_calls, float_of_int st.Metrics.st_total_ns /. 1e6)
+    | None -> (0, 0.)
+  in
+  let overhead = if wall_ms > 0. then ckpt_ms /. wall_ms else 0. in
+  Printf.printf
+    "full campaign, %d test cases, checkpoint every 50:\n\
+    \  campaign wall time:  %.1f ms\n\
+    \  checkpoints written: %d (%.2f ms each, snapshot + atomic JSON write)\n\
+    \  checkpoint share:    %.2f%%\n"
+    n_cases wall_ms calls
+    (if calls > 0 then ckpt_ms /. float_of_int calls else 0.)
+    (100. *. overhead);
+  (wall_ms, ckpt_ms, overhead)
 
 (* --- Ablations ------------------------------------------------------------------ *)
 
@@ -383,9 +426,10 @@ let json_escape s =
 
 let write_bench_json ~rows ~(throughput : Experiments.throughput)
     ~(stage_summary : Metrics.summary) ~stage_elapsed_s
-    ~(telemetry : float * float * float) =
+    ~(telemetry : float * float * float) ~(checkpoint : float * float * float)
+    =
   let path =
-    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR4.json"
+    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR5.json"
   in
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -398,7 +442,7 @@ let write_bench_json ~rows ~(throughput : Experiments.throughput)
   in
   let bl_sec, bl_tc, bl_cph = pr2_baseline_throughput in
   add "{\n";
-  add "  \"pr\": 4,\n";
+  add "  \"pr\": 5,\n";
   add "  \"seed\": %Ld,\n" seed;
   add "  \"fast\": %b,\n" fast;
   add "  \"baseline\": {\n";
@@ -446,6 +490,11 @@ let write_bench_json ~rows ~(throughput : Experiments.throughput)
     "  \"telemetry\": { \"sink_disabled_ms\": %.3f, \"sink_enabled_ms\": \
      %.3f, \"sink_overhead\": %.4f },\n"
     tel_disabled tel_enabled tel_overhead;
+  let ck_wall, ck_ms, ck_overhead = checkpoint in
+  add
+    "  \"checkpoint\": { \"campaign_ms\": %.3f, \"checkpoint_ms\": %.3f, \
+     \"overhead\": %.4f },\n"
+    ck_wall ck_ms ck_overhead;
   add "  \"speedup\": {\n";
   let speedups =
     List.filter_map
@@ -485,6 +534,8 @@ let () =
   print_ablations ();
   print_a6 ();
   let telemetry = telemetry_overhead () in
+  let checkpoint = checkpoint_overhead () in
   let rows = bechamel_suite () in
-  write_bench_json ~rows ~throughput ~stage_summary ~stage_elapsed_s ~telemetry;
+  write_bench_json ~rows ~throughput ~stage_summary ~stage_elapsed_s ~telemetry
+    ~checkpoint;
   print_endline "\nDone."

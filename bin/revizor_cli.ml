@@ -78,6 +78,42 @@ let stage_share_line snap ~elapsed =
 
 let live_lines_printed = ref 0
 
+(* The live dashboard runs on the terminal's alternate screen with the
+   cursor hidden. Every exit path — normal finish, SIGINT/SIGTERM
+   graceful shutdown, uncaught exception — must restore the main screen
+   and the cursor, or the user's shell is left garbled; [exit_live] is
+   idempotent and doubles as an [at_exit] guard. *)
+let live_active = ref false
+
+let enter_live () =
+  live_active := true;
+  live_lines_printed := 0;
+  print_string "\027[?1049h\027[?25l";
+  flush stdout
+
+let exit_live () =
+  if !live_active then begin
+    live_active := false;
+    live_lines_printed := 0;
+    print_string "\027[?1049l\027[?25h";
+    flush stdout
+  end
+
+let () = at_exit exit_live
+
+(* Graceful shutdown: the first SIGINT/SIGTERM requests a cooperative
+   stop — the fuzz loop finishes the current test case, writes a final
+   checkpoint, flushes telemetry and restores the terminal. A second
+   SIGINT force-exits (the [at_exit] guard still fixes the screen). *)
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let handle _ =
+    if Atomic.exchange stop_requested true then exit 130
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+
 let render_live ~started () =
   let snap = Metrics.snapshot () in
   let c = counter_of snap and g = gauge_of snap in
@@ -173,19 +209,56 @@ let write_metrics_json path ~elapsed ~(stats : Fuzzer.stats option) =
         ("metrics", Metrics.to_json snap);
       ]
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string_pretty doc);
-  output_char oc '\n';
-  close_out oc
+  Revizor_obs.Atomic_file.write path (Json.to_string_pretty doc ^ "\n")
 
 let do_fuzz contract target seed budget inputs minimize save_dir jobs
-    metrics_out trace_out progress =
+    metrics_out trace_out progress checkpoint checkpoint_every resume
+    watchdog_steps watchdog_ms fault_inject fault_seed =
+  (* Flag validation up front, before anything touches the terminal or
+     the filesystem. *)
+  let usage_error msg =
+    Printf.eprintf "revizor: %s\n" msg;
+    Some 2
+  in
+  let validation =
+    if checkpoint <> None && jobs > 1 then
+      usage_error
+        "--checkpoint requires -j 1: parallel campaigns run independent \
+         seeds and have no single resumable state"
+    else if resume && checkpoint = None then
+      usage_error "--resume requires --checkpoint FILE"
+    else
+      match fault_inject with
+      | None -> None
+      | Some spec -> (
+          match Revizor_obs.Faultpoint.parse_spec spec with
+          | Ok points ->
+              Revizor_obs.Faultpoint.enable ~seed:fault_seed points;
+              None
+          | Error e -> usage_error (Printf.sprintf "--fault-inject: %s" e))
+  in
+  match validation with
+  | Some rc -> rc
+  | None ->
   (match trace_out with Some path -> Telemetry.enable_file path | None -> ());
+  install_signal_handlers ();
   if progress <> `Quiet then
     Printf.printf "Testing %s against %s (seed %Ld, budget %d test cases)\n%!"
       (Format.asprintf "%a" Target.pp target)
       (Contract.name contract) seed budget;
   let cfg = Target.fuzzer_config ~seed ~n_inputs:inputs contract target in
+  let cfg =
+    {
+      cfg with
+      Fuzzer.watchdog =
+        {
+          Watchdog.max_model_steps =
+            Option.value watchdog_steps
+              ~default:Watchdog.default.Watchdog.max_model_steps;
+          max_input_millis = watchdog_ms;
+        };
+    }
+  in
   let started = Unix.gettimeofday () in
   let last_render = ref 0. in
   let on_progress =
@@ -207,6 +280,23 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
             render_live ~started ()
           end
   in
+  let resume_snapshot =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+        match Campaign.load ~path cfg with
+        | Ok s ->
+            if progress <> `Quiet then
+              Printf.printf "Resuming from %s (%d test cases done)\n%!" path
+                s.Fuzzer.sn_stats.Fuzzer.test_cases;
+            Some s
+        | Error e ->
+            Printf.eprintf "revizor: %s\n" e;
+            exit 2)
+    | _ -> None
+  in
+  let on_checkpoint =
+    Option.map (fun path snap -> Campaign.save ~path cfg snap) checkpoint
+  in
   let run () =
     if jobs > 1 then begin
       let outcome, per_domain =
@@ -219,14 +309,25 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
         Printf.printf "(%d domains, %d test cases total)\n%!" jobs total;
       (outcome, List.hd per_domain)
     end
-    else Fuzzer.fuzz ~on_progress cfg ~budget:(Fuzzer.Test_cases budget)
+    else begin
+      if progress = `Live then enter_live ();
+      Fuzzer.fuzz ~on_progress
+        ~should_stop:(fun () -> Atomic.get stop_requested)
+        ?resume:resume_snapshot ~checkpoint_every ?on_checkpoint cfg
+        ~budget:(Fuzzer.Test_cases budget)
+    end
   in
   let finish outcome (stats : Fuzzer.stats) =
-    if progress = `Live then begin
-      render_live ~started ();
-      print_newline ()
-    end;
+    (* Leave the alternate screen before printing anything meant to
+       persist in the user's scrollback. *)
+    exit_live ();
     closing_line ~started ~outcome;
+    if Atomic.get stop_requested then
+      Printf.printf "interrupted after %d test cases%s\n%!"
+        stats.Fuzzer.test_cases
+        (match checkpoint with
+        | Some path -> Printf.sprintf " — checkpoint written to %s" path
+        | None -> "");
     (match metrics_out with
     | Some path ->
         write_metrics_json path
@@ -234,6 +335,9 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
           ~stats:(Some stats);
         if progress <> `Quiet then Printf.printf "[metrics written to %s]\n%!" path
     | None -> ());
+    (* Flush-then-disable so the JSONL sink ends on a complete line even
+       when the shutdown was signal-initiated. *)
+    Telemetry.flush ();
     Telemetry.disable ()
   in
   match run () with
@@ -307,11 +411,72 @@ let fuzz_cmd =
              $(b,line) (a line every 100 test cases), or $(b,live) (an \
              in-place dashboard refreshed twice a second).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write campaign checkpoints (PRNG state, coverage, statistics) \
+             to FILE, atomically, every $(b,--checkpoint-every) test cases \
+             and at shutdown. Requires $(b,-j) 1.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 50
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Test cases between periodic checkpoints (with --checkpoint).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from $(b,--checkpoint) FILE. The resumed campaign is \
+             bit-identical to the uninterrupted one; a checkpoint taken \
+             under a different configuration is rejected.")
+  in
+  let watchdog_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog-steps" ] ~docv:"N"
+          ~doc:
+            "Model-stage step budget per contract trace (including nested \
+             speculative exploration); pathological test cases are skipped \
+             and counted. Default 50M.")
+  in
+  let watchdog_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "Opt-in wall-clock budget per contract trace; trades \
+             bit-reproducibility for liveness on hostile hosts.")
+  in
+  let fault_inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-inject" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection: comma-separated \
+             $(i,name:rate) with optional $(i,@after) and $(i,#max), e.g. \
+             $(b,pool.worker:0.05,writer.io:1.0@10#2). Off by default.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the fault-injection schedule (with --fault-inject).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
     Term.(
       const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
       $ inputs_arg $ minimize $ save_dir $ jobs $ metrics_out $ trace_out
-      $ progress)
+      $ progress $ checkpoint $ checkpoint_every $ resume $ watchdog_steps
+      $ watchdog_ms $ fault_inject $ fault_seed)
 
 (* --- check: re-verify a saved counterexample -------------------------- *)
 
@@ -506,27 +671,26 @@ let check_metrics_file path =
             (Printf.sprintf
                "%s: missing schema/metrics/stages/accounted_share keys" path))
 
+(* A malformed FINAL line is tolerated and reported: a campaign killed
+   mid-write (SIGKILL, OOM) leaves exactly one truncated tail line, and
+   the artifact up to it is still valid evidence. Malformed lines
+   anywhere else still fail the check. *)
 let check_trace_file path =
   let contents = read_whole path in
   let lines = String.split_on_char '\n' contents in
-  let spans = ref 0 and events = ref 0 and lineno = ref 0 in
-  let bad = ref None in
-  List.iter
-    (fun line ->
-      incr lineno;
-      if String.trim line <> "" && !bad = None then
-        match Telemetry.parse_line line with
-        | Ok l ->
-            if l.Telemetry.l_kind = "span" then incr spans
-            else if l.Telemetry.l_kind = "event" then incr events
-            else bad := Some (Printf.sprintf "line %d: unknown kind %S" !lineno l.Telemetry.l_kind)
-        | Error e -> bad := Some (Printf.sprintf "line %d: %s" !lineno e))
-    lines;
-  match !bad with
-  | Some e -> Error (Printf.sprintf "%s: %s" path e)
+  let sc = Telemetry.scan_lines lines in
+  match sc.Telemetry.sc_error with
+  | Some (lineno, e) -> Error (Printf.sprintf "%s: line %d: %s" path lineno e)
   | None ->
-      if !spans + !events = 0 then Error (Printf.sprintf "%s: no events" path)
-      else Ok (Printf.sprintf "%s: OK (%d spans, %d events)" path !spans !events)
+      if sc.Telemetry.sc_spans + sc.Telemetry.sc_events = 0 then
+        Error (Printf.sprintf "%s: no events" path)
+      else
+        Ok
+          (Printf.sprintf "%s: OK (%d spans, %d events%s)" path
+             sc.Telemetry.sc_spans sc.Telemetry.sc_events
+             (if sc.Telemetry.sc_truncated_tail then
+                "; truncated final line tolerated"
+              else ""))
 
 let do_telemetry_check metrics_file trace_file =
   let results =

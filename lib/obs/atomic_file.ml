@@ -1,0 +1,57 @@
+(* Crash-safe artifact writes (DESIGN.md §8).
+
+   Every result artifact — violation.asm, inputs.txt, stats.json,
+   --metrics-out, campaign checkpoints — goes through this one helper: the
+   contents land in a sibling temp file first and only an atomic rename
+   publishes them, so a SIGKILL mid-write leaves either the old file or
+   the new one, never a torn hybrid.
+
+   Transient I/O failures (and the [writer.io] fault point, which models
+   them deterministically in tests) are retried a bounded number of
+   times before the last exception is re-raised. *)
+
+let m_writes = Metrics.counter "obs.atomic_writes"
+let m_retries = Metrics.counter "obs.atomic_write_retries"
+
+let fp_writer = Faultpoint.point "writer.io"
+
+let attempt path contents =
+  Faultpoint.fire fp_writer;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     output_string oc contents;
+     flush oc
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
+
+let write ?(retries = 3) path contents =
+  Metrics.incr m_writes;
+  let rec go n =
+    match attempt path contents with
+    | () -> ()
+    | exception ((Sys_error _ | Faultpoint.Injected _) as e) ->
+        if n >= retries then raise e
+        else begin
+          Metrics.incr m_retries;
+          if Telemetry.enabled () then
+            Telemetry.event "writer.retry"
+              [
+                ("path", Json.String path);
+                ("attempt", Json.Int (n + 1));
+                ( "error",
+                  Json.String
+                    (match e with
+                    | Sys_error m -> m
+                    | Faultpoint.Injected p -> "injected: " ^ p
+                    | _ -> "?") );
+              ];
+          go (n + 1)
+        end
+  in
+  go 0

@@ -1,0 +1,15 @@
+(** Crash-safe file writes: temp file + atomic rename, with bounded
+    retry on transient I/O errors.
+
+    All result artifacts (saved violations, [stats.json],
+    [--metrics-out], campaign checkpoints) go through {!write}, so a kill
+    at any instant leaves either the previous file or the complete new
+    one — never a torn write. The [writer.io] fault point is checked on
+    every attempt; injected failures are retried like real ones and
+    surface as [obs.atomic_write_retries] plus a [writer.retry] telemetry
+    event. *)
+
+val write : ?retries:int -> string -> string -> unit
+(** [write path contents] atomically replaces [path]. Retries up to
+    [retries] (default 3) times on [Sys_error] or an injected writer
+    fault, then re-raises the last exception. *)

@@ -95,6 +95,60 @@ let emit kind name fields =
 
 let event name fields = emit "event" name fields
 
+let flush () =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> (
+      Mutex.lock s.lock;
+      (match s.target with
+      | To_channel oc -> ( try Stdlib.flush oc with Sys_error _ -> ())
+      | To_buffer _ -> ());
+      Mutex.unlock s.lock)
+
+(* Tolerant whole-trace scan for the [telemetry-check] validator: a run
+   killed mid-write (SIGKILL, torn pipe) legitimately leaves one
+   truncated final line, which must not fail the whole validation — it is
+   detected, reported and tolerated. Unparseable lines anywhere else are
+   real corruption and stay errors. *)
+type scan = {
+  sc_spans : int;
+  sc_events : int;
+  sc_truncated_tail : bool;
+  sc_error : (int * string) option;  (* first non-tail bad line *)
+}
+
+let scan_lines lines =
+  let last_nonempty =
+    List.fold_left
+      (fun (i, last) line -> (i + 1, if String.trim line <> "" then i else last))
+      (1, 0) lines
+    |> snd
+  in
+  let spans = ref 0 and events = ref 0 and lineno = ref 0 in
+  let truncated = ref false and error = ref None in
+  List.iter
+    (fun line ->
+      incr lineno;
+      if String.trim line <> "" && !error = None then
+        match parse_line line with
+        | Ok l ->
+            if l.l_kind = "span" then incr spans
+            else if l.l_kind = "event" then incr events
+            else if !lineno = last_nonempty then truncated := true
+            else
+              error :=
+                Some (!lineno, Printf.sprintf "unknown kind %S" l.l_kind)
+        | Error e ->
+            if !lineno = last_nonempty then truncated := true
+            else error := Some (!lineno, e))
+    lines;
+  {
+    sc_spans = !spans;
+    sc_events = !events;
+    sc_truncated_tail = !truncated;
+    sc_error = !error;
+  }
+
 let span name ~start_ns ~dur_ns =
   match Atomic.get current with
   | None -> ()

@@ -28,6 +28,10 @@ val enable_buffer : Buffer.t -> unit
 val disable : unit -> unit
 (** Flush and close the current sink (if any); return to no-op mode. *)
 
+val flush : unit -> unit
+(** Flush the current sink's channel without closing it (graceful
+    shutdown checkpoints call this so the trace survives a later kill). *)
+
 val set_context : (string * Json.t) list -> unit
 (** Fields merged into every subsequent line (e.g. [[("tc", Int n)]]).
     No-op while disabled, so the fuzz loop can set it unconditionally
@@ -55,3 +59,18 @@ type line = {
 val parse_line : string -> (line, string) result
 val render_line : line -> string
 (** Inverse of {!parse_line}: [parse_line (render_line l) = Ok l]. *)
+
+(** Result of scanning a whole JSONL trace. A malformed {e final}
+    non-empty line is the signature of a run killed mid-write and is
+    tolerated (reported via [sc_truncated_tail]); malformed lines
+    anywhere else are corruption ([sc_error]). *)
+type scan = {
+  sc_spans : int;
+  sc_events : int;
+  sc_truncated_tail : bool;
+  sc_error : (int * string) option;  (** (line number, message) *)
+}
+
+val scan_lines : string list -> scan
+(** Scan the lines of a trace file (as split on ['\n']). Used by the
+    [telemetry-check] validator. *)

@@ -33,6 +33,9 @@ let pattern_to_string = function
   | Cond_dependency -> "cond-dependency"
   | Uncond_dependency -> "uncond-dependency"
 
+let pattern_of_string s =
+  List.find_opt (fun p -> pattern_to_string p = s) all_patterns
+
 let line_of addr = Int64.div addr (Int64.of_int Layout.cache_line)
 
 let mem_patterns (a : Model.step_record) (b : Model.step_record) =
@@ -93,6 +96,52 @@ type t = {
 }
 
 let create () = { singles = []; combos = PSet.empty }
+let copy t = { singles = t.singles; combos = t.combos }
+
+(* Checkpoint serialization: the accumulator is fully described by its
+   covered singles and combination sets, both stored as pattern-name
+   lists so the format survives constructor reordering. *)
+module Json = Revizor_obs.Json
+
+let to_json t =
+  let names ps = Json.List (List.map (fun p -> Json.String (pattern_to_string p)) ps) in
+  Json.Obj
+    [
+      ("singles", names t.singles);
+      ("combos", Json.List (List.map names (PSet.elements t.combos)));
+    ]
+
+let of_json j =
+  let pattern_list = function
+    | Json.List items ->
+        List.fold_left
+          (fun acc item ->
+            match (acc, item) with
+            | Error _, _ -> acc
+            | Ok ps, Json.String s -> (
+                match pattern_of_string s with
+                | Some p -> Ok (ps @ [ p ])
+                | None -> Error (Printf.sprintf "unknown pattern %S" s))
+            | Ok _, _ -> Error "pattern list holds a non-string")
+          (Ok []) items
+    | _ -> Error "expected a pattern list"
+  in
+  match (Json.member "singles" j, Json.member "combos" j) with
+  | Some singles, Some (Json.List combos) -> (
+      match pattern_list singles with
+      | Error e -> Error e
+      | Ok singles ->
+          List.fold_left
+            (fun acc combo ->
+              match acc with
+              | Error _ -> acc
+              | Ok t -> (
+                  match pattern_list combo with
+                  | Error e -> Error e
+                  | Ok ps -> Ok { t with combos = PSet.add ps t.combos }))
+            (Ok { singles; combos = PSet.empty })
+            combos)
+  | _ -> Error "coverage object missing singles/combos"
 
 let g_singles = Revizor_obs.Metrics.gauge "coverage.singles"
 let g_combos = Revizor_obs.Metrics.gauge "coverage.combinations"

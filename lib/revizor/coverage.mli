@@ -22,6 +22,7 @@ type pattern =
 
 val all_patterns : pattern list
 val pattern_to_string : pattern -> string
+val pattern_of_string : string -> pattern option
 
 val patterns_of_stream : Model.step_record list -> pattern list
 (** Distinct patterns matched by consecutive instruction pairs. *)
@@ -30,6 +31,15 @@ val patterns_of_stream : Model.step_record list -> pattern list
 type t
 
 val create : unit -> t
+
+val copy : t -> t
+(** Snapshot the accumulator (campaign checkpoints store a copy so the
+    live one keeps mutating). *)
+
+val to_json : t -> Revizor_obs.Json.t
+val of_json : Revizor_obs.Json.t -> (t, string) result
+(** Round-trip for checkpoint files: [of_json (to_json t)] covers exactly
+    the same patterns and combinations as [t]. *)
 
 val register : t -> patterns:pattern list -> effective:bool -> unit
 (** Record one test case's matched patterns. Only test cases with at least

@@ -1,5 +1,8 @@
 open Revizor_uarch
 module Metrics = Revizor_obs.Metrics
+module Telemetry = Revizor_obs.Telemetry
+module Faultpoint = Revizor_obs.Faultpoint
+module Json = Revizor_obs.Json
 
 (* Measurement-volume and noise-filter attribution counters: how many
    hardware runs a campaign really paid for, and how often the injected
@@ -13,8 +16,25 @@ let m_input_runs = Metrics.counter "executor.input_runs"
 let m_swap_measures = Metrics.counter "executor.swap_measurements"
 let m_noise_added = Metrics.counter "executor.noise.added"
 let m_noise_dropped = Metrics.counter "executor.noise.dropped"
+let m_noise_storms = Metrics.counter "executor.noise.storms"
+let m_adaptive = Metrics.counter "executor.adaptive_escalations"
+
+(* Fault points (DESIGN.md §8): [executor.measure] makes a whole
+   measurement blow up (the fuzz loop absorbs it); [executor.noise_storm]
+   sprays deterministic spurious observations into individual traces so
+   the outlier filter and the adaptive-repetition ladder are exercised. *)
+let fp_measure = Faultpoint.point "executor.measure"
+let fp_storm = Faultpoint.point "executor.noise_storm"
 
 type noise = { flip_probability : float; rng : Prng.t }
+
+(* Bounded adaptive retry (§5.3 spirit: the executor buys signal with
+   repetitions): when the outlier filter is rejecting more than
+   [reject_ratio] of the distinct observations, double the repetitions —
+   capped at [max_total_reps] — before settling. Off by default; with it
+   off, measurement behavior is bit-identical to the pre-adaptive
+   executor. *)
+type adaptive = { reject_ratio : float; max_total_reps : int }
 
 type config = {
   threat : Attack.threat;
@@ -22,6 +42,7 @@ type config = {
   measurement_reps : int;
   outlier_min : int;
   noise : noise option;
+  adaptive : adaptive option;
   max_steps : int;
   reset_between_inputs : bool;
 }
@@ -33,6 +54,7 @@ let default_config ?(threat = Attack.prime_probe) () =
     measurement_reps = 3;
     outlier_min = 2;
     noise = None;
+    adaptive = None;
     max_steps = 20000;
     reset_between_inputs = false;
   }
@@ -75,6 +97,26 @@ let apply_noise cfg trace =
       end;
       !trace
 
+(* Synthetic noise storm: when the armed schedule fires, spray a burst of
+   spurious observations derived from the hit's own hash — deterministic
+   under the fault seed, different across repetitions, so the outlier
+   filter sees exactly the kind of transient garbage a noisy co-tenant
+   produces. *)
+let apply_storm cfg trace =
+  match Faultpoint.fire_value fp_storm with
+  | None -> trace
+  | Some bits ->
+      Metrics.incr m_noise_storms;
+      let domain = Attack.trace_domain cfg.threat.Attack.mode in
+      let t = ref trace in
+      for j = 0 to 5 do
+        let chunk =
+          Int64.to_int (Int64.logand (Int64.shift_right_logical bits (j * 10)) 0x3FFL)
+        in
+        t := Htrace.add (chunk mod domain) !t
+      done;
+      !t
+
 let last_data_word =
   Int64.add Revizor_emu.Layout.sandbox_base
     (Int64.of_int
@@ -103,6 +145,7 @@ let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
             Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
       in
       let trace = apply_noise t.cfg trace in
+      let trace = apply_storm t.cfg trace in
       let events =
         (* keep every episode for mechanism labelling; episodes without
            cache touches carry an empty set and are never selected by the
@@ -120,11 +163,11 @@ let templates_of inputs = function
   | None -> Input.templates inputs
 
 let measure ?templates t flat inputs =
+  Faultpoint.fire fp_measure;
   let templates = templates_of inputs templates in
   let n = Array.length templates in
   Metrics.incr m_measures;
   Metrics.add m_warmups t.cfg.warmup_rounds;
-  Metrics.add m_reps (max 1 t.cfg.measurement_reps);
   Cpu.reset_session t.cpu;
   for _ = 1 to t.cfg.warmup_rounds do
     run_sequence t flat templates ~record:(fun _ _ _ -> ())
@@ -137,15 +180,69 @@ let measure ?templates t flat inputs =
      appending with [@] here would rebuild the accumulated list on every
      repetition (quadratic in reps). *)
   let events = Array.make n [] in
-  for _ = 1 to max 1 t.cfg.measurement_reps do
-    run_sequence t flat templates ~record:(fun idx trace evs ->
-        let row = counts.(idx) in
-        Htrace.iter (fun o -> row.(o) <- row.(o) + 1) trace;
-        events.(idx) <- evs :: events.(idx))
-  done;
-  let threshold =
-    if t.cfg.measurement_reps >= 3 then t.cfg.outlier_min else 1
+  let base_reps = max 1 t.cfg.measurement_reps in
+  let reps_done = ref 0 in
+  let run_reps k =
+    Metrics.add m_reps k;
+    for _ = 1 to k do
+      run_sequence t flat templates ~record:(fun idx trace evs ->
+          let row = counts.(idx) in
+          Htrace.iter (fun o -> row.(o) <- row.(o) + 1) trace;
+          events.(idx) <- evs :: events.(idx))
+    done;
+    reps_done := !reps_done + k
   in
+  run_reps base_reps;
+  (* The outlier threshold scales with the repetitions actually run, so
+     escalation raises the bar for sparse (noise-like) observations while
+     genuine signals — present every rep — sail over it. At the base rep
+     count this reduces exactly to the fixed pre-adaptive threshold. *)
+  let threshold_for r =
+    if t.cfg.measurement_reps >= 3 then
+      max t.cfg.outlier_min (r * t.cfg.outlier_min / base_reps)
+    else 1
+  in
+  (match t.cfg.adaptive with
+  | None -> ()
+  | Some a ->
+      let reject_ratio () =
+        let thr = threshold_for !reps_done in
+        let observed = ref 0 and rejected = ref 0 in
+        Array.iter
+          (fun row ->
+            Array.iter
+              (fun c ->
+                if c > 0 then begin
+                  incr observed;
+                  if c < thr then incr rejected
+                end)
+              row)
+          counts;
+        if !observed = 0 then 0.
+        else float_of_int !rejected /. float_of_int !observed
+      in
+      let continue_ = ref true in
+      while
+        !continue_
+        && !reps_done < a.max_total_reps
+        && reject_ratio () > a.reject_ratio
+      do
+        (* Capped doubling: each escalation re-runs as many reps as have
+           been run so far, until the total cap. *)
+        let extra = min !reps_done (a.max_total_reps - !reps_done) in
+        if extra <= 0 then continue_ := false
+        else begin
+          Metrics.incr m_adaptive;
+          if Telemetry.enabled () then
+            Telemetry.event "executor.adaptive_reps"
+              [
+                ("reps_done", Json.Int !reps_done);
+                ("extra", Json.Int extra);
+              ];
+          run_reps extra
+        end
+      done);
+  let threshold = threshold_for !reps_done in
   Array.init n (fun idx ->
       let htrace = ref Htrace.empty in
       Array.iteri

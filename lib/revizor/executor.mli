@@ -19,6 +19,14 @@ type noise = {
   rng : Prng.t;
 }
 
+(** Bounded adaptive retry (DESIGN.md §8): when the outlier filter is
+    rejecting more than [reject_ratio] of the distinct observations (a
+    noise storm), the executor doubles its repetitions — capped at
+    [max_total_reps] — buying signal with repetitions the way the paper's
+    executor does. The outlier threshold scales with the repetitions
+    actually run. *)
+type adaptive = { reject_ratio : float; max_total_reps : int }
+
 type config = {
   threat : Attack.threat;
   warmup_rounds : int;  (** un-recorded passes over the input sequence *)
@@ -26,6 +34,9 @@ type config = {
   outlier_min : int;
       (** keep an observation only if seen in at least this many reps *)
   noise : noise option;
+  adaptive : adaptive option;
+      (** [None] (the default) keeps measurement bit-identical to the
+          fixed-repetition executor *)
   max_steps : int;
   reset_between_inputs : bool;
       (** ablation switch: wipe the microarchitectural state before every
@@ -33,7 +44,8 @@ type config = {
 }
 
 val default_config : ?threat:Attack.threat -> unit -> config
-(** Prime+Probe, 1 warm-up round, 3 reps, outlier threshold 2, no noise. *)
+(** Prime+Probe, 1 warm-up round, 3 reps, outlier threshold 2, no noise,
+    no adaptive escalation. *)
 
 type t
 

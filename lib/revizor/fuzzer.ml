@@ -11,6 +11,7 @@ module Json = Revizor_obs.Json
    pipeline's wall time, so the dashboards and the bench stage-breakdown
    table are computed from these. *)
 let sp_generate = Probe.create "generate"
+let sp_checkpoint = Probe.create "checkpoint"
 let sp_compile = Probe.create "compile"
 let sp_model = Probe.create "model"
 let sp_execute = Probe.create "execute"
@@ -30,6 +31,8 @@ let m_dismissed_swap = Metrics.counter "fuzzer.dismissed_by_swap"
 let m_dismissed_nesting = Metrics.counter "fuzzer.dismissed_by_nesting"
 let m_rounds = Metrics.counter "fuzzer.rounds"
 let m_growths = Metrics.counter "fuzzer.growths"
+let m_absorbed = Metrics.counter "fault.absorbed"
+let m_checkpoints = Metrics.counter "fuzzer.checkpoints"
 let g_n_insts = Metrics.gauge "gen.n_insts"
 let g_n_blocks = Metrics.gauge "gen.n_blocks"
 let g_max_mem = Metrics.gauge "gen.max_mem_accesses"
@@ -54,6 +57,7 @@ type config = {
   seed : int64;
   model_domains : int;
   engine : engine;
+  watchdog : Watchdog.t;
 }
 
 let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
@@ -68,6 +72,7 @@ let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
     seed;
     model_domains;
     engine = Compiled;
+    watchdog = Watchdog.default;
   }
 
 let compile_with engine flat =
@@ -81,6 +86,7 @@ type stats = {
   mutable effective_inputs : int;
   mutable ineffective_test_cases : int;
   mutable faulted_test_cases : int;
+  mutable skipped_pathological : int;
   mutable candidates : int;
   mutable dismissed_by_swap : int;
   mutable dismissed_by_nesting : int;
@@ -96,6 +102,7 @@ let fresh_stats () =
     effective_inputs = 0;
     ineffective_test_cases = 0;
     faulted_test_cases = 0;
+    skipped_pathological = 0;
     candidates = 0;
     dismissed_by_swap = 0;
     dismissed_by_nesting = 0;
@@ -104,15 +111,35 @@ let fresh_stats () =
     elapsed_s = 0.;
   }
 
+let copy_stats s = { s with test_cases = s.test_cases }
+
 type outcome = Violation of Violation.t | No_violation
 type budget = Test_cases of int | Seconds of float
 
+(* Everything the campaign loop mutates, captured at a test-case
+   boundary. Restoring a snapshot and continuing reproduces the
+   uninterrupted run bit for bit: the PRNGs are single-int64-state
+   xorshift generators, the generator growth schedule is a pure function
+   of the coverage set and round counters, and checkpoints are only taken
+   between test cases, never inside one. [sn_stats.elapsed_s] carries the
+   accumulated wall time (the one field excluded from bit-identity). *)
+type snapshot = {
+  sn_prng : int64;  (** main campaign PRNG *)
+  sn_noise : int64 option;  (** executor noise PRNG, when noise is on *)
+  sn_gen_cfg : Generator.cfg;
+  sn_n_inputs : int;
+  sn_in_round : int;
+  sn_combos_at_round_start : int;
+  sn_stats : stats;
+  sn_coverage : Coverage.t;
+}
+
 (* Contract traces, fanned out over the model pool when one is given. A
    missing pool (or a pool of size 1) is the exact sequential path. *)
-let model_ctraces ?pool ?templates contract prog inputs =
+let model_ctraces ?pool ?watchdog ?templates contract prog inputs =
   match pool with
-  | Some p -> Model.ctraces_par ?templates p contract prog inputs
-  | None -> Model.ctraces ?templates contract prog inputs
+  | Some p -> Model.ctraces_par ?watchdog ?templates p contract prog inputs
+  | None -> Model.ctraces ?watchdog ?templates contract prog inputs
 
 (* The nesting re-check (§5.4): recompute contract traces with nested
    speculation enabled; the violating pair must still share a class and
@@ -124,7 +151,8 @@ let nesting_recheck ?pool ?templates config prog inputs measurements
     let nested = Contract.with_nesting config.contract in
     let results =
       Probe.with_span sp_nesting (fun () ->
-          model_ctraces ?pool ?templates nested prog inputs)
+          model_ctraces ?pool ~watchdog:config.watchdog ?templates nested prog
+            inputs)
     in
     if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
     else
@@ -176,7 +204,8 @@ let check_test_case_full ?pool config executor program inputs :
       in
       let results =
         Probe.with_span sp_model (fun () ->
-            model_ctraces ?pool ~templates config.contract prog inputs)
+            model_ctraces ?pool ~watchdog:config.watchdog ~templates
+              config.contract prog inputs)
       in
       if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
         Error "architectural fault"
@@ -312,19 +341,43 @@ let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
   Metrics.set_gauge g_max_mem (float_of_int cfg.Generator.max_mem_accesses);
   Metrics.set_gauge g_n_inputs (float_of_int n_inputs)
 
-let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
-  let prng = Prng.create ~seed:config.seed in
+let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
+    ?(checkpoint_every = 0) ?on_checkpoint config ~budget =
+  let prng =
+    match resume with
+    | Some s -> Prng.of_state s.sn_prng
+    | None -> Prng.create ~seed:config.seed
+  in
+  (* The executor's noise PRNG is the same object held by
+     [config.executor]; its draws are part of the deterministic result
+     stream, so a resumed run must restart it mid-stream. *)
+  (match (resume, config.executor.Executor.noise) with
+  | Some { sn_noise = Some ns; _ }, Some n -> Prng.set_state n.Executor.rng ns
+  | _ -> ());
   let cpu = Cpu.create config.uarch in
   let executor = Executor.create cpu config.executor in
   let pool =
     if config.model_domains > 1 then Some (Pool.create config.model_domains)
     else None
   in
-  let stats = fresh_stats () in
-  let coverage = Coverage.create () in
+  let stats =
+    match resume with
+    | Some s -> copy_stats s.sn_stats
+    | None -> fresh_stats ()
+  in
+  let coverage =
+    match resume with
+    | Some s -> Coverage.copy s.sn_coverage
+    | None -> Coverage.create ()
+  in
+  let base_elapsed = stats.elapsed_s in
   let started = Unix.gettimeofday () in
-  let gen_cfg = ref config.gen_cfg in
-  let n_inputs = ref config.n_inputs in
+  let gen_cfg =
+    ref (match resume with Some s -> s.sn_gen_cfg | None -> config.gen_cfg)
+  in
+  let n_inputs =
+    ref (match resume with Some s -> s.sn_n_inputs | None -> config.n_inputs)
+  in
   set_gen_gauges !gen_cfg ~n_inputs:!n_inputs;
   if Telemetry.enabled () then
     Telemetry.event "fuzz.start"
@@ -335,14 +388,44 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
         ("n_inputs", Json.Int config.n_inputs);
         ("model_domains", Json.Int config.model_domains);
       ];
-  let combos_at_round_start = ref 0 in
-  let in_round = ref 0 in
+  let combos_at_round_start =
+    ref (match resume with Some s -> s.sn_combos_at_round_start | None -> 0)
+  in
+  let in_round =
+    ref (match resume with Some s -> s.sn_in_round | None -> 0)
+  in
   let exhausted () =
     should_stop ()
     ||
     match budget with
     | Test_cases n -> stats.test_cases >= n
-    | Seconds s -> Unix.gettimeofday () -. started >= s
+    | Seconds s -> base_elapsed +. (Unix.gettimeofday () -. started) >= s
+  in
+  let take_snapshot () =
+    {
+      sn_prng = Prng.state prng;
+      sn_noise =
+        Option.map
+          (fun (n : Executor.noise) -> Prng.state n.Executor.rng)
+          config.executor.Executor.noise;
+      sn_gen_cfg = !gen_cfg;
+      sn_n_inputs = !n_inputs;
+      sn_in_round = !in_round;
+      sn_combos_at_round_start = !combos_at_round_start;
+      sn_stats =
+        (let s = copy_stats stats in
+         s.elapsed_s <- base_elapsed +. (Unix.gettimeofday () -. started);
+         s);
+      sn_coverage = Coverage.copy coverage;
+    }
+  in
+  let emit_checkpoint () =
+    match on_checkpoint with
+    | None -> ()
+    | Some emit ->
+        Probe.with_span sp_checkpoint (fun () ->
+            Metrics.incr m_checkpoints;
+            emit (take_snapshot ()))
   in
   let result = ref No_violation in
   Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
@@ -363,6 +446,23 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
     stats.inputs_tested <- stats.inputs_tested + List.length inputs;
     Metrics.add m_inputs_tested (List.length inputs);
     (match check_test_case_full ?pool config executor program inputs with
+    | exception Watchdog.Pathological reason ->
+        (* A step/time budget tripped mid-model: skip the test case,
+           count it, and keep the campaign alive. *)
+        stats.skipped_pathological <- stats.skipped_pathological + 1;
+        Metrics.incr Watchdog.m_skipped;
+        if Telemetry.enabled () then
+          Telemetry.event "fuzz.skipped_pathological"
+            [ ("reason", Json.String reason) ]
+    | exception Revizor_obs.Faultpoint.Injected point ->
+        (* An armed fault fired inside the pipeline (model stage or
+           executor measurement): absorb it like a faulted test case and
+           record the degradation. *)
+        stats.faulted_test_cases <- stats.faulted_test_cases + 1;
+        Metrics.incr m_faulted;
+        Metrics.incr m_absorbed;
+        if Telemetry.enabled () then
+          Telemetry.event "fault.absorbed" [ ("point", Json.String point) ]
     | Error _ ->
         stats.faulted_test_cases <- stats.faulted_test_cases + 1;
         Metrics.incr m_faulted
@@ -417,9 +517,17 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) config ~budget =
             ("combinations", Json.Int !combos_at_round_start);
           ]
     end;
+    if
+      checkpoint_every > 0
+      && stats.test_cases mod checkpoint_every = 0
+      && !result = No_violation
+    then emit_checkpoint ();
     match on_progress with Some f -> f stats | None -> ()
   done;
-  stats.elapsed_s <- Unix.gettimeofday () -. started;
+  (* A final boundary snapshot lets an interrupted (should_stop) campaign
+     be resumed exactly where it left off. *)
+  if !result = No_violation then emit_checkpoint ();
+  stats.elapsed_s <- base_elapsed +. (Unix.gettimeofday () -. started);
   Metrics.set_gauge g_elapsed
     (Metrics.gauge_value g_elapsed +. stats.elapsed_s);
   if Telemetry.enabled () then begin
@@ -476,6 +584,7 @@ let stats_to_json s =
       ("effective_inputs", Json.Int s.effective_inputs);
       ("ineffective_test_cases", Json.Int s.ineffective_test_cases);
       ("faulted_test_cases", Json.Int s.faulted_test_cases);
+      ("skipped_pathological", Json.Int s.skipped_pathological);
       ("candidates", Json.Int s.candidates);
       ("dismissed_by_swap", Json.Int s.dismissed_by_swap);
       ("dismissed_by_nesting", Json.Int s.dismissed_by_nesting);
@@ -497,6 +606,7 @@ let stats_of_json j =
           effective_inputs = i "effective_inputs";
           ineffective_test_cases = i "ineffective_test_cases";
           faulted_test_cases = i "faulted_test_cases";
+          skipped_pathological = i "skipped_pathological";
           candidates = i "candidates";
           dismissed_by_swap = i "dismissed_by_swap";
           dismissed_by_nesting = i "dismissed_by_nesting";
@@ -511,8 +621,9 @@ let stats_of_json j =
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>test cases: %d@,inputs: %d (effective: %d)@,ineffective test \
-     cases: %d@,faulted: %d@,candidates: %d (swap-dismissed: %d, \
-     nesting-dismissed: %d)@,rounds: %d (growths: %d)@,elapsed: %.2fs@]"
+     cases: %d@,faulted: %d@,skipped (pathological): %d@,candidates: %d \
+     (swap-dismissed: %d, nesting-dismissed: %d)@,rounds: %d (growths: \
+     %d)@,elapsed: %.2fs@]"
     s.test_cases s.inputs_tested s.effective_inputs s.ineffective_test_cases
-    s.faulted_test_cases s.candidates s.dismissed_by_swap
-    s.dismissed_by_nesting s.rounds s.growths s.elapsed_s
+    s.faulted_test_cases s.skipped_pathological s.candidates
+    s.dismissed_by_swap s.dismissed_by_nesting s.rounds s.growths s.elapsed_s

@@ -32,6 +32,10 @@ type config = {
           every value; 1 (the default) runs the plain sequential path
           with no pool at all. *)
   engine : engine;
+  watchdog : Watchdog.t;
+      (** per-test-case step/time budgets for the model stage; the default
+          ceiling is far above any legitimate trace, so default results
+          are unchanged (see {!Watchdog.default}) *)
 }
 
 val compile_with : engine -> Revizor_isa.Program.flat -> Revizor_emu.Compiled.t
@@ -56,6 +60,8 @@ type stats = {
   mutable effective_inputs : int;
   mutable ineffective_test_cases : int;  (** no multi-input class *)
   mutable faulted_test_cases : int;
+  mutable skipped_pathological : int;
+      (** test cases abandoned by the {!Watchdog} budgets *)
   mutable candidates : int;  (** trace divergences before filtering *)
   mutable dismissed_by_swap : int;
   mutable dismissed_by_nesting : int;
@@ -68,16 +74,43 @@ type outcome = Violation of Violation.t | No_violation
 
 type budget = Test_cases of int | Seconds of float
 
+type snapshot = {
+  sn_prng : int64;  (** main campaign PRNG state *)
+  sn_noise : int64 option;  (** executor noise PRNG state, if noise is on *)
+  sn_gen_cfg : Generator.cfg;
+  sn_n_inputs : int;
+  sn_in_round : int;
+  sn_combos_at_round_start : int;
+  sn_stats : stats;
+  sn_coverage : Coverage.t;
+}
+(** The campaign loop's complete mutable state at a test-case boundary.
+    Resuming from a snapshot continues the interrupted run bit for bit —
+    same violations, same statistics — except [sn_stats.elapsed_s], which
+    accumulates wall time across segments. Serialization, config
+    fingerprinting and file handling live in {!Campaign}. *)
+
 val fuzz :
   ?on_progress:(stats -> unit) ->
   ?should_stop:(unit -> bool) ->
+  ?resume:snapshot ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(snapshot -> unit) ->
   config ->
   budget:budget ->
   outcome * stats
 (** Run until a (filtered) violation is found or the budget is exhausted.
     Deterministic for a given [config.seed] under [Test_cases] budgets.
     [should_stop] is polled between test cases (used for cooperative
-    cancellation by {!fuzz_parallel}). *)
+    cancellation by {!fuzz_parallel} and graceful shutdown by the CLI).
+
+    [resume] restarts the loop from a snapshot (the budget still counts
+    total test cases, so a resumed [Test_cases n] campaign stops at the
+    same point as the uninterrupted one). [on_checkpoint] is called with
+    a fresh snapshot every [checkpoint_every] test cases (0, the default,
+    disables periodic checkpoints) and once more when the loop exits
+    without a violation — so an interrupted campaign always has a
+    boundary snapshot to resume from. *)
 
 val fuzz_parallel :
   ?domains:int -> config -> budget:budget -> outcome * stats list

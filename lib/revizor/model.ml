@@ -11,9 +11,15 @@ type result = { ctrace : Ctrace.t; stream : step_record list; faulted : bool }
 
 let max_nesting_depth = 4
 
-let run_state ?(max_steps = 4096) (contract : Contract.t) prog (state : State.t) =
+let run_state ?(max_steps = 4096) ?(watchdog = Watchdog.default)
+    (contract : Contract.t) prog (state : State.t) =
   let code_len = Compiled.length prog in
   let descs = prog.Compiled.descs in
+  (* Watchdog fuel: counts every walked instruction including nested
+     speculative re-explorations, which is exactly the quantity that
+     blows up on pathological programs while [max_steps] (per-walk) does
+     not. *)
+  let fuel = Watchdog.start watchdog in
   let obs = ref [] in
   let stream = ref [] in
   let faulted = ref false in
@@ -41,6 +47,7 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) prog (state : State.t)
     let stop = ref false in
     while (not !stop) && !budget > 0 && state.State.pc < code_len do
       decr budget;
+      Watchdog.tick fuel;
       let pc = state.State.pc in
       let d = descs.(pc) in
       if d.Compiled.d_serializing then
@@ -111,8 +118,8 @@ let run_state ?(max_steps = 4096) (contract : Contract.t) prog (state : State.t)
   walk ~depth:0 max_steps;
   { ctrace = List.rev !obs; stream = List.rev !stream; faulted = !faulted }
 
-let run ?max_steps contract prog input =
-  run_state ?max_steps contract prog (Input.to_state input)
+let run ?max_steps ?watchdog contract prog input =
+  run_state ?max_steps ?watchdog contract prog (Input.to_state input)
 
 (* Per-input model cost: one counter increment and a log2 histogram
    sample per contract trace, updated from whichever domain ran it. *)
@@ -120,21 +127,28 @@ let m_inputs = Revizor_obs.Metrics.counter "model.inputs"
 let m_total_ns = Revizor_obs.Metrics.counter "model.input_total_ns"
 let h_input_ns = Revizor_obs.Metrics.histogram "model.input_ns"
 
-let timed_run_state ?max_steps contract prog state =
+(* Fault point for the model stage: an armed schedule makes a contract
+   trace blow up like a real model bug would, so the fuzz loop's
+   absorb-and-record path is exercised by tests. *)
+let fp_model = Revizor_obs.Faultpoint.point "model.ctrace"
+
+let timed_run_state ?max_steps ?watchdog contract prog state =
+  Revizor_obs.Faultpoint.fire fp_model;
   let t0 = Revizor_obs.Clock.now_ns () in
-  let r = run_state ?max_steps contract prog state in
+  let r = run_state ?max_steps ?watchdog contract prog state in
   let dt = Revizor_obs.Clock.now_ns () - t0 in
   Revizor_obs.Metrics.incr m_inputs;
   Revizor_obs.Metrics.add m_total_ns dt;
   Revizor_obs.Metrics.observe h_input_ns dt;
   r
 
-let ctraces ?max_steps ?templates contract prog inputs =
+let ctraces ?max_steps ?watchdog ?templates contract prog inputs =
   match templates with
   | None ->
       List.map
         (fun input ->
-          timed_run_state ?max_steps contract prog (Input.to_state input))
+          timed_run_state ?max_steps ?watchdog contract prog
+            (Input.to_state input))
         inputs
   | Some tpl ->
       (* One scratch state, restored from each input's template by a flat
@@ -143,11 +157,12 @@ let ctraces ?max_steps ?templates contract prog inputs =
       List.mapi
         (fun i _ ->
           State.copy_into tpl.(i) ~dst:scratch;
-          timed_run_state ?max_steps contract prog scratch)
+          timed_run_state ?max_steps ?watchdog contract prog scratch)
         inputs
 
-let ctraces_par ?max_steps ?templates pool contract prog inputs =
-  if Pool.size pool <= 1 then ctraces ?max_steps ?templates contract prog inputs
+let ctraces_par ?max_steps ?watchdog ?templates pool contract prog inputs =
+  if Pool.size pool <= 1 then
+    ctraces ?max_steps ?watchdog ?templates contract prog inputs
   else
     let arr = Array.of_list inputs in
     let indices = Array.init (Array.length arr) Fun.id in
@@ -161,7 +176,7 @@ let ctraces_par ?max_steps ?templates pool contract prog inputs =
             | Some tpl -> State.copy tpl.(i)
             | None -> Input.to_state arr.(i)
           in
-          timed_run_state ?max_steps contract prog state)
+          timed_run_state ?max_steps ?watchdog contract prog state)
         indices
     in
     Array.to_list results

@@ -27,19 +27,34 @@ type result = {
           case must be discarded (CH1 instrumentation failed) *)
 }
 
-val run : ?max_steps:int -> Contract.t -> Compiled.t -> Input.t -> result
+val run :
+  ?max_steps:int ->
+  ?watchdog:Watchdog.t ->
+  Contract.t ->
+  Compiled.t ->
+  Input.t ->
+  result
 (** Collect the contract trace of one (program, input) pair. Faults during
     speculative exploration merely end the exploration; faults on the
-    architectural path set [faulted]. *)
+    architectural path set [faulted]. [watchdog] (default
+    {!Watchdog.default}) bounds the total walked steps — including nested
+    speculative re-explorations — and raises {!Watchdog.Pathological} on
+    exhaustion. *)
 
 val run_state :
-  ?max_steps:int -> Contract.t -> Compiled.t -> State.t -> result
+  ?max_steps:int ->
+  ?watchdog:Watchdog.t ->
+  Contract.t ->
+  Compiled.t ->
+  State.t ->
+  result
 (** Like {!run}, but on an already-materialized initial state (mutated in
     place). [run contract prog input] is
     [run_state contract prog (Input.to_state input)]. *)
 
 val ctraces :
   ?max_steps:int ->
+  ?watchdog:Watchdog.t ->
   ?templates:State.t array ->
   Contract.t ->
   Compiled.t ->
@@ -52,6 +67,7 @@ val ctraces :
 
 val ctraces_par :
   ?max_steps:int ->
+  ?watchdog:Watchdog.t ->
   ?templates:State.t array ->
   Pool.t ->
   Contract.t ->

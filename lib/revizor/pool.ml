@@ -1,11 +1,27 @@
-(* A small reusable domain pool for intra-test-case parallelism.
+(* A small reusable domain pool for intra-test-case parallelism, with
+   supervision (DESIGN.md §8).
 
    [size - 1] worker domains block on a task queue; the submitting domain
    participates in the work itself, so a pool of size 1 spawns nothing and
    degenerates to plain sequential execution. Work items are index ranges
    handed out through an atomic counter, which keeps the scheduling
    deterministic-by-index: results land in slot [i] no matter which domain
-   computed them. *)
+   computed them.
+
+   Supervision: a participant that crashes in the pool harness itself
+   (modelled by the [pool.worker] fault point; in real life a domain
+   blowing up outside the user function) parks its claimed index on a
+   failure list and stops draining. The submitting domain doubles as the
+   supervisor — after its own drain it retries parked indices itself (a
+   surviving worker), so every item completes and [map_array]'s result is
+   identical to the sequential map. After [max_failures] crashes the pool
+   permanently degrades to sequential execution; the degradation is a
+   metrics counter and telemetry event, not a campaign abort. *)
+
+module Metrics = Revizor_obs.Metrics
+module Telemetry = Revizor_obs.Telemetry
+module Faultpoint = Revizor_obs.Faultpoint
+module Json = Revizor_obs.Json
 
 type t = {
   size : int;
@@ -14,7 +30,10 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
-  task_counters : Revizor_obs.Metrics.counter array;
+  failures : int Atomic.t;  (* worker crashes over the pool's lifetime *)
+  max_failures : int;
+  degraded : bool Atomic.t;
+  task_counters : Metrics.counter array;
       (* per-participant utilization: slot 0 is the submitting domain,
          slots 1.. are the workers; [pool.domain<i>.tasks] in the
          registry. Inherently scheduling-dependent, hence excluded from
@@ -26,8 +45,24 @@ type t = {
    domain re-asserts slot 0 on every [map_array]. *)
 let slot_key = Domain.DLS.new_key (fun () -> 0)
 
-let m_map_calls = Revizor_obs.Metrics.counter "pool.map_calls"
-let m_items = Revizor_obs.Metrics.counter "pool.items"
+let m_map_calls = Metrics.counter "pool.map_calls"
+let m_items = Metrics.counter "pool.items"
+let m_crashes = Metrics.counter "pool.worker_crashes"
+let m_retried = Metrics.counter "pool.retried_items"
+let m_degradations = Metrics.counter "pool.degradations"
+
+let fp_worker = Faultpoint.point "pool.worker"
+
+let record_crash p =
+  Metrics.incr m_crashes;
+  let n = Atomic.fetch_and_add p.failures 1 + 1 in
+  if Telemetry.enabled () then
+    Telemetry.event "pool.worker_crash" [ ("failures", Json.Int n) ];
+  if n >= p.max_failures && not (Atomic.exchange p.degraded true) then begin
+    Metrics.incr m_degradations;
+    if Telemetry.enabled () then
+      Telemetry.event "pool.degraded" [ ("after_failures", Json.Int n) ]
+  end
 
 let worker p =
   let rec loop () =
@@ -39,13 +74,16 @@ let worker p =
     else begin
       let task = Queue.pop p.queue in
       Mutex.unlock p.lock;
-      task ();
+      (* A drain task never lets exceptions escape (crashes are parked on
+         the failure list), but an unexpected one must not kill the
+         domain: the pool would silently lose parallelism. *)
+      (try task () with _ -> record_crash p);
       loop ()
     end
   in
   loop ()
 
-let create size =
+let create ?(max_failures = 8) size =
   let size = max 1 size in
   let p =
     {
@@ -55,9 +93,12 @@ let create size =
       queue = Queue.create ();
       stopped = false;
       workers = [];
+      failures = Atomic.make 0;
+      max_failures = max 1 max_failures;
+      degraded = Atomic.make false;
       task_counters =
         Array.init size (fun i ->
-            Revizor_obs.Metrics.counter (Printf.sprintf "pool.domain%d.tasks" i));
+            Metrics.counter (Printf.sprintf "pool.domain%d.tasks" i));
     }
   in
   if size > 1 then
@@ -69,6 +110,8 @@ let create size =
   p
 
 let size p = p.size
+let failures p = Atomic.get p.failures
+let is_degraded p = Atomic.get p.degraded
 
 let submit p task =
   Mutex.lock p.lock;
@@ -78,48 +121,99 @@ let submit p task =
 
 let map_array p f arr =
   let n = Array.length arr in
-  if p.size <= 1 || n <= 1 then Array.map f arr
+  if p.size <= 1 || n <= 1 || Atomic.get p.degraded then Array.map f arr
   else begin
     Domain.DLS.set slot_key 0;
-    Revizor_obs.Metrics.incr m_map_calls;
-    Revizor_obs.Metrics.add m_items n;
+    Metrics.incr m_map_calls;
+    Metrics.add m_items n;
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
     (* Completion barrier: the last finisher signals instead of every
        waiter spinning on [remaining] (a large model stage would otherwise
-       burn a core busy-waiting). *)
+       burn a core busy-waiting). The same lock/condition also wakes the
+       supervisor when a crashed participant parks an index. *)
     let done_lock = Mutex.create () in
     let all_done = Condition.create () in
-    (* Every participant drains indices until none are left; exceptions
-       are captured per item and re-raised after the barrier so a failing
-       task cannot deadlock the pool. *)
+    let parked = ref [] in
+    let complete i outcome =
+      results.(i) <- Some outcome;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_lock;
+        Condition.signal all_done;
+        Mutex.unlock done_lock
+      end
+    in
+    let park i =
+      Mutex.lock done_lock;
+      parked := i :: !parked;
+      Condition.signal all_done;
+      Mutex.unlock done_lock
+    in
+    (* [f]'s own exceptions are captured per item and re-raised after the
+       barrier so a failing task cannot deadlock the pool; a harness
+       crash instead parks the claimed index for the supervisor. *)
+    let process i =
+      complete i (match f arr.(i) with v -> Ok v | exception e -> Error e);
+      Metrics.incr p.task_counters.(Domain.DLS.get slot_key)
+    in
+    (* Every participant drains indices until none are left or it
+       crashes. *)
     let drain () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
-        else begin
-          (results.(i) <-
-             (match f arr.(i) with
-             | v -> Some (Ok v)
-             | exception e -> Some (Error e)));
-          Revizor_obs.Metrics.incr p.task_counters.(Domain.DLS.get slot_key);
-          if Atomic.fetch_and_add remaining (-1) = 1 then begin
-            Mutex.lock done_lock;
-            Condition.signal all_done;
-            Mutex.unlock done_lock
-          end
+        else if Faultpoint.should_fire fp_worker then begin
+          (* Simulated domain crash: the claimed item is recovered by the
+             supervisor; this participant is gone for the rest of the
+             call. *)
+          record_crash p;
+          park i;
+          continue := false
         end
+        else process i
+      done
+    in
+    (* Recovery drain for the supervisor: claims like [drain] but never
+       consults the fault point — the supervisor context is the recovery
+       path, and it must make progress even when every schedule entry
+       says "crash". *)
+    let drain_unclaimed () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false else process i
       done
     in
     for _ = 1 to min (p.size - 1) (n - 1) do
       submit p drain
     done;
     drain ();
+    (* Supervision loop: retry parked indices and adopt any indices left
+       unclaimed by crashed participants (including this domain's own
+       simulated crash), until every slot is filled. *)
     Mutex.lock done_lock;
     while Atomic.get remaining > 0 do
-      Condition.wait all_done done_lock
+      match !parked with
+      | [] ->
+          if Atomic.get next < n then begin
+            (* Participants died before claiming everything: the
+               supervisor finishes the sweep itself. *)
+            Mutex.unlock done_lock;
+            drain_unclaimed ();
+            Mutex.lock done_lock
+          end
+          else Condition.wait all_done done_lock
+      | is ->
+          parked := [];
+          Mutex.unlock done_lock;
+          List.iter
+            (fun i ->
+              Metrics.incr m_retried;
+              process i)
+            (List.rev is);
+          Mutex.lock done_lock
     done;
     Mutex.unlock done_lock;
     Array.map

@@ -8,15 +8,32 @@
     participates in every {!map_array}, so [create 1] spawns nothing and
     behaves exactly like sequential execution. Pools are cheap to keep
     around and are meant to live for a whole fuzzing campaign; call
-    {!shutdown} when done. *)
+    {!shutdown} when done.
+
+    The pool is {e supervised} (DESIGN.md §8): a participant crashing in
+    the pool harness (exercised deterministically by the [pool.worker]
+    fault point) parks its claimed item for the submitting domain to
+    retry, so {!map_array} still returns the full, bit-identical result.
+    After [max_failures] crashes the pool permanently degrades to
+    sequential execution — surfaced as the [pool.degradations] metrics
+    counter and a [pool.degraded] telemetry event, never as a campaign
+    abort. *)
 
 type t
 
-val create : int -> t
+val create : ?max_failures:int -> int -> t
 (** [create n] starts a pool of parallelism [n] (clamped to at least 1),
-    spawning [n - 1] worker domains. *)
+    spawning [n - 1] worker domains. [max_failures] (default 8, clamped
+    to at least 1) bounds worker crashes before the pool degrades to
+    sequential. *)
 
 val size : t -> int
+
+val failures : t -> int
+(** Worker crashes recorded over the pool's lifetime. *)
+
+val is_degraded : t -> bool
+(** [true] once the pool has fallen back to sequential execution. *)
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array p f arr] computes [Array.map f arr] with the elements
@@ -24,8 +41,9 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     the output is identical to the sequential map regardless of pool size
     (provided [f] is pure up to its index). If [f] raises on some element,
     the first such exception (in index order) is re-raised after all
-    elements have been attempted. Do not call concurrently from multiple
-    domains on the same pool. *)
+    elements have been attempted. Worker crashes are supervised: parked
+    items are retried on the submitting domain. Do not call concurrently
+    from multiple domains on the same pool. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards;

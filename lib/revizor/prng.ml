@@ -27,3 +27,11 @@ let choose t = function
   | l -> List.nth l (int t (List.length l))
 
 let split t = create ~seed:(next t)
+
+(* Checkpoint support: the whole generator is its 64-bit state word, so a
+   campaign snapshot can capture and restore the exact stream position.
+   [normalize] only remaps 0, which xorshift64* never reaches from a
+   nonzero state, so restoring is lossless. *)
+let state t = t.s
+let of_state s = { s = normalize s }
+let set_state t s = t.s <- normalize s

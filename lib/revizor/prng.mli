@@ -23,3 +23,17 @@ val choose : t -> 'a list -> 'a
 
 val split : t -> t
 (** Derive an independent generator (for per-input streams). *)
+
+(** {1 Checkpointing}
+
+    The generator's full state is one 64-bit word; capturing and
+    restoring it resumes the stream at the exact position, which is what
+    makes campaign checkpoints bit-identical to uninterrupted runs. *)
+
+val state : t -> int64
+val of_state : int64 -> t
+(** [of_state (state t)] continues [t]'s stream exactly. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a live generator in place (used to rewind the executor's
+    noise stream on resume). *)

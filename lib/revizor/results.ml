@@ -1,10 +1,9 @@
 open Revizor_isa
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* All result artifacts go through the shared write-tmp-then-rename
+   helper: a crash (or injected writer fault) mid-write never leaves a
+   torn file where a previous good one stood. *)
+let write_file path contents = Revizor_obs.Atomic_file.write path contents
 
 let read_file path =
   let ic = open_in path in

@@ -1,0 +1,514 @@
+(* Resilient campaign runtime (PR 5): checkpoint/resume bit-identity
+   across seeds and pool sizes, config-fingerprint rejection, supervised
+   pool crash recovery and degradation, watchdog skips, deterministic
+   fault injection (model stage, executor noise storms, artifact
+   writers), and the tolerant telemetry tail scanner. *)
+
+open Revizor
+module Json = Revizor_obs.Json
+module Metrics = Revizor_obs.Metrics
+module Telemetry = Revizor_obs.Telemetry
+module Faultpoint = Revizor_obs.Faultpoint
+module Atomic_file = Revizor_obs.Atomic_file
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* Every fault-injection test disarms the global schedule on the way out,
+   pass or fail: armed points leaking into later tests would make the
+   whole binary order-dependent. *)
+let with_faults ~seed points f =
+  Faultpoint.enable ~seed points;
+  Fun.protect ~finally:Faultpoint.disable f
+
+let always = { Faultpoint.rate = 1.0; after = 0; max_fires = 0 }
+
+(* --- PRNG state round-trip ------------------------------------------- *)
+
+let test_prng_state_roundtrip () =
+  let p = Prng.create ~seed:123L in
+  for _ = 1 to 10 do
+    ignore (Prng.int p 1000)
+  done;
+  let st = Prng.state p in
+  let expected = List.init 20 (fun _ -> Prng.int p 1_000_000) in
+  let q = Prng.of_state st in
+  let got = List.init 20 (fun _ -> Prng.int q 1_000_000) in
+  check (Alcotest.list int) "draw stream continues identically" expected got;
+  (* set_state mid-life behaves like of_state *)
+  Prng.set_state p st;
+  let again = List.init 20 (fun _ -> Prng.int p 1_000_000) in
+  check (Alcotest.list int) "set_state rewinds" expected again
+
+(* --- checkpoint/resume bit-identity ---------------------------------- *)
+
+let outcome_summary = function
+  | Fuzzer.No_violation -> "none"
+  | Fuzzer.Violation v -> Violation.summary v
+
+let stats_fingerprint (s : Fuzzer.stats) =
+  (* elapsed_s is wall time, the one field excluded from bit-identity *)
+  let s = { s with Fuzzer.elapsed_s = 0. } in
+  Json.to_string (Fuzzer.stats_to_json s)
+
+(* Run the campaign uninterrupted, then as two segments joined by a
+   checkpoint that round-trips through the Campaign JSON codec; every
+   outcome and statistic must agree. *)
+let split_run_identical ~seed ~domains ~total ~split =
+  let cfg =
+    {
+      (Target.fuzzer_config ~seed Contract.ct_seq Target.target5) with
+      Fuzzer.model_domains = domains;
+    }
+  in
+  let base_o, base_s = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases total) in
+  let last = ref None in
+  let seg1_o, _ =
+    Fuzzer.fuzz
+      ~on_checkpoint:(fun s -> last := Some s)
+      ~checkpoint_every:7 cfg
+      ~budget:(Fuzzer.Test_cases split)
+  in
+  let label = Printf.sprintf "seed=%Ld domains=%d" seed domains in
+  match seg1_o with
+  | Fuzzer.Violation _ ->
+      (* The violation landed inside the first segment; the full run must
+         have found the same one. *)
+      check string (label ^ ": early violation matches")
+        (outcome_summary base_o) (outcome_summary seg1_o)
+  | Fuzzer.No_violation -> (
+      match !last with
+      | None -> Alcotest.failf "%s: no checkpoint emitted" label
+      | Some snap -> (
+          match Campaign.of_json cfg (Campaign.to_json cfg snap) with
+          | Error e -> Alcotest.failf "%s: codec round-trip: %s" label e
+          | Ok snap ->
+              let res_o, res_s =
+                Fuzzer.fuzz ~resume:snap cfg ~budget:(Fuzzer.Test_cases total)
+              in
+              check string (label ^ ": outcome identical")
+                (outcome_summary base_o) (outcome_summary res_o);
+              check string (label ^ ": stats identical")
+                (stats_fingerprint base_s) (stats_fingerprint res_s)))
+
+let test_resume_bit_identical () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun domains -> split_run_identical ~seed ~domains ~total:80 ~split:30)
+        [ 1; 2; 4 ])
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_checkpoint_file_roundtrip () =
+  let cfg = Target.fuzzer_config ~seed:3L Contract.ct_seq Target.target5 in
+  let last = ref None in
+  let _ =
+    Fuzzer.fuzz
+      ~on_checkpoint:(fun s -> last := Some s)
+      cfg ~budget:(Fuzzer.Test_cases 10)
+  in
+  let snap = Option.get !last in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "revizor_ckpt_%d.json" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Campaign.save ~path cfg snap;
+  (match Campaign.load ~path cfg with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok snap' ->
+      check string "file round-trip"
+        (Json.to_string (Campaign.to_json cfg snap))
+        (Json.to_string (Campaign.to_json cfg snap')));
+  (* A different configuration must be rejected, not silently resumed. *)
+  let other = { cfg with Fuzzer.seed = 99L } in
+  match Campaign.load ~path other with
+  | Ok _ -> Alcotest.fail "fingerprint mismatch accepted"
+  | Error e ->
+      let has_sub sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      check bool "mismatch error names the fingerprint" true
+        (has_sub "fingerprint" e)
+
+let test_fingerprint_sensitivity () =
+  let cfg = Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target5 in
+  let fp = Campaign.fingerprint cfg in
+  check bool "seed changes fingerprint" true
+    (fp <> Campaign.fingerprint { cfg with Fuzzer.seed = 2L });
+  check bool "entropy changes fingerprint" true
+    (fp <> Campaign.fingerprint { cfg with Fuzzer.entropy = 3 });
+  check bool "watchdog changes fingerprint" true
+    (fp
+    <> Campaign.fingerprint
+         {
+           cfg with
+           Fuzzer.watchdog =
+             { Watchdog.max_model_steps = 1234; max_input_millis = None };
+         });
+  (* pool size is result-neutral and deliberately outside the digest *)
+  check string "model_domains does not change fingerprint" fp
+    (Campaign.fingerprint { cfg with Fuzzer.model_domains = 4 })
+
+(* --- coverage serialization ------------------------------------------ *)
+
+let test_coverage_json_roundtrip () =
+  let cov = Coverage.create () in
+  Coverage.register cov
+    ~patterns:[ Coverage.Store_after_store; Coverage.Load_after_load ]
+    ~effective:true;
+  Coverage.register cov ~patterns:[ Coverage.Reg_dependency ] ~effective:true;
+  Coverage.register cov ~patterns:[ Coverage.Cond_dependency ] ~effective:false;
+  let j = Coverage.to_json cov in
+  match Coverage.of_json j with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok cov' ->
+      check string "json round-trip" (Json.to_string j)
+        (Json.to_string (Coverage.to_json cov'));
+      check int "combinations preserved"
+        (Coverage.total_combinations cov)
+        (Coverage.total_combinations cov');
+      check bool "ineffective pattern not covered" false
+        (Coverage.covered cov' Coverage.Cond_dependency)
+
+(* --- supervised pool -------------------------------------------------- *)
+
+let test_pool_crash_recovery () =
+  (* Crash roughly half the index claims: every map must still return the
+     sequential result, courtesy of the supervisor retry. *)
+  with_faults ~seed:5L
+    [ ("pool.worker", { Faultpoint.rate = 0.5; after = 0; max_fires = 0 }) ]
+  @@ fun () ->
+  let p = Pool.create ~max_failures:6 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let arr = Array.init 64 Fun.id in
+  let expected = Array.map (fun i -> i * i) arr in
+  let rounds = ref 0 in
+  while (not (Pool.is_degraded p)) && !rounds < 50 do
+    incr rounds;
+    let got = Pool.map_array p (fun i -> i * i) arr in
+    check (Alcotest.array int)
+      (Printf.sprintf "round %d results intact" !rounds)
+      expected got
+  done;
+  check bool "pool degraded after bounded failures" true (Pool.is_degraded p);
+  check bool "failures counted" true (Pool.failures p >= 6);
+  (* Degraded pool keeps working — sequentially, off the fault point. *)
+  let got = Pool.map_array p (fun i -> i * i) arr in
+  check (Alcotest.array int) "degraded pool still correct" expected got
+
+let test_pool_task_exception_propagates () =
+  (* User-function exceptions are not crashes: they re-raise on the
+     submitting domain after the barrier, and do not degrade the pool. *)
+  let p = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  (match
+     Pool.map_array p
+       (fun i -> if i = 5 then failwith "task boom" else i)
+       (Array.init 16 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg -> check string "original exception" "task boom" msg);
+  check bool "no degradation from task exceptions" false (Pool.is_degraded p)
+
+(* --- watchdog --------------------------------------------------------- *)
+
+let test_watchdog_fuel () =
+  let w = { Watchdog.max_model_steps = 5; max_input_millis = None } in
+  let fuel = Watchdog.start w in
+  for _ = 1 to 5 do
+    Watchdog.tick fuel
+  done;
+  match Watchdog.tick fuel with
+  | () -> Alcotest.fail "expected Pathological on exhausted fuel"
+  | exception Watchdog.Pathological _ -> ()
+
+let test_watchdog_skips_pathological () =
+  (* A starvation-level step budget trips on every test case; the
+     campaign must absorb the skips and still complete its budget. *)
+  let cfg =
+    {
+      (Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target5) with
+      Fuzzer.watchdog = { Watchdog.max_model_steps = 10; max_input_millis = None };
+    }
+  in
+  let outcome, stats = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases 15) in
+  check string "no violation possible" "none" (outcome_summary outcome);
+  check int "budget consumed" 15 stats.Fuzzer.test_cases;
+  (* a rare tiny test case can finish under even this budget *)
+  check bool "most test cases skipped" true
+    (stats.Fuzzer.skipped_pathological >= 10)
+
+let test_default_watchdog_transparent () =
+  (* The default ceiling must not perturb results: same campaign with the
+     ceiling at default vs effectively infinite. *)
+  let base = Target.fuzzer_config ~seed:2L Contract.ct_seq Target.target5 in
+  let huge =
+    {
+      base with
+      Fuzzer.watchdog =
+        { Watchdog.max_model_steps = max_int; max_input_millis = None };
+    }
+  in
+  let o1, s1 = Fuzzer.fuzz base ~budget:(Fuzzer.Test_cases 40) in
+  let o2, s2 = Fuzzer.fuzz huge ~budget:(Fuzzer.Test_cases 40) in
+  check string "outcome identical" (outcome_summary o1) (outcome_summary o2);
+  check string "stats identical" (stats_fingerprint s1) (stats_fingerprint s2);
+  check int "nothing skipped" 0 s1.Fuzzer.skipped_pathological
+
+(* --- fault injection: model stage ------------------------------------ *)
+
+let test_model_fault_absorbed () =
+  (* Three injected model blowups: each aborts one test case, counted as
+     faulted+absorbed; the campaign completes its budget regardless. *)
+  Metrics.reset ();
+  with_faults ~seed:1L
+    [ ("model.ctrace", { Faultpoint.rate = 1.0; after = 5; max_fires = 3 }) ]
+  @@ fun () ->
+  let cfg = Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target1 in
+  let _, stats = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases 10) in
+  check int "budget consumed" 10 stats.Fuzzer.test_cases;
+  check int "three test cases absorbed the faults" 3
+    stats.Fuzzer.faulted_test_cases;
+  let snap = Metrics.snapshot () in
+  check int "fault.absorbed counter" 3
+    (Option.value
+       (List.assoc_opt "fault.absorbed" snap.Metrics.counters)
+       ~default:0)
+
+let test_fault_schedule_deterministic () =
+  let pattern () =
+    with_faults ~seed:77L
+      [ ("model.ctrace", { Faultpoint.rate = 0.3; after = 2; max_fires = 0 }) ]
+    @@ fun () ->
+    let p = Faultpoint.point "model.ctrace" in
+    List.init 200 (fun _ -> Faultpoint.should_fire p)
+  in
+  check (Alcotest.list bool) "same seed, same schedule" (pattern ()) (pattern ())
+
+let test_faultpoint_disabled_is_inert () =
+  Faultpoint.disable ();
+  let p = Faultpoint.point "model.ctrace" in
+  check bool "disabled" false (Faultpoint.enabled ());
+  (* [fired] is a lifetime count (earlier tests armed this point), so the
+     assertion is on the delta. *)
+  let before = Faultpoint.fired p in
+  for _ = 1 to 100 do
+    Faultpoint.fire p
+  done;
+  check int "no fires when disarmed" before (Faultpoint.fired p)
+
+(* --- fault injection: executor noise storms + adaptive reps ----------- *)
+
+let test_noise_storm_triggers_adaptive () =
+  Metrics.reset ();
+  let measure () =
+    with_faults ~seed:7L
+      [ ("executor.noise_storm", { Faultpoint.rate = 0.8; after = 0; max_fires = 0 }) ]
+    @@ fun () ->
+    let cfg = Target.fuzzer_config ~seed:3L Contract.ct_seq Target.target5 in
+    let ex_cfg =
+      {
+        cfg.Fuzzer.executor with
+        Executor.adaptive =
+          Some { Executor.reject_ratio = 0.2; max_total_reps = 24 };
+      }
+    in
+    let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
+    let executor = Executor.create cpu ex_cfg in
+    let prng = Prng.create ~seed:3L in
+    let program = Generator.generate prng Generator.default_cfg in
+    let inputs = Input.generate_many prng ~entropy:2 ~n:10 in
+    match Revizor_isa.Program.flatten program with
+    | Error e -> Alcotest.failf "flatten: %s" e
+    | Ok flat ->
+        let prog = Revizor_emu.Compiled.of_flat flat in
+        Array.to_list
+          (Array.map Revizor_uarch.Htrace.elements
+             (Executor.htraces executor prog inputs))
+  in
+  let a = measure () in
+  let snap = Metrics.snapshot () in
+  check bool "storms observed" true
+    (Option.value
+       (List.assoc_opt "executor.noise.storms" snap.Metrics.counters)
+       ~default:0
+    > 0);
+  check bool "adaptive escalation fired" true
+    (Option.value
+       (List.assoc_opt "executor.adaptive_escalations" snap.Metrics.counters)
+       ~default:0
+    > 0);
+  (* The whole storm + escalation is a pure function of the fault seed. *)
+  let b = measure () in
+  check
+    (Alcotest.list (Alcotest.list int))
+    "deterministic under the fault seed" a b
+
+let test_adaptive_off_bit_identical () =
+  (* adaptive = None must reduce exactly to the fixed-repetition
+     executor: same htraces with and without the field. *)
+  let cfg = Target.fuzzer_config ~seed:9L Contract.ct_seq Target.target5 in
+  let run adaptive =
+    let ex_cfg = { cfg.Fuzzer.executor with Executor.adaptive } in
+    let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
+    let executor = Executor.create cpu ex_cfg in
+    let prng = Prng.create ~seed:9L in
+    let program = Generator.generate prng Generator.default_cfg in
+    let inputs = Input.generate_many prng ~entropy:2 ~n:10 in
+    match Revizor_isa.Program.flatten program with
+    | Error e -> Alcotest.failf "flatten: %s" e
+    | Ok flat ->
+        let prog = Revizor_emu.Compiled.of_flat flat in
+        Array.to_list
+          (Array.map Revizor_uarch.Htrace.elements
+             (Executor.htraces executor prog inputs))
+  in
+  check
+    (Alcotest.list (Alcotest.list int))
+    "clean measurements identical"
+    (run None)
+    (run (Some { Executor.reject_ratio = 0.2; max_total_reps = 24 }))
+
+(* --- fault injection: artifact writers -------------------------------- *)
+
+let test_atomic_write_retry () =
+  Metrics.reset ();
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "revizor_aw_%d.txt" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (* Two injected failures, then success on the third attempt. *)
+  with_faults ~seed:1L
+    [ ("writer.io", { Faultpoint.rate = 1.0; after = 0; max_fires = 2 }) ]
+    (fun () -> Atomic_file.write path "payload one");
+  check string "published after retries" "payload one"
+    (In_channel.with_open_bin path In_channel.input_all);
+  let snap = Metrics.snapshot () in
+  check int "retries counted" 2
+    (Option.value
+       (List.assoc_opt "obs.atomic_write_retries" snap.Metrics.counters)
+       ~default:0);
+  (* Permanent failure: the exception surfaces after bounded retries and
+     the previous artifact survives untouched. *)
+  (with_faults ~seed:1L [ ("writer.io", always) ] @@ fun () ->
+   match Atomic_file.write path "payload two" with
+   | () -> Alcotest.fail "expected Injected after exhausted retries"
+   | exception Faultpoint.Injected _ -> ());
+  check string "previous artifact intact" "payload one"
+    (In_channel.with_open_bin path In_channel.input_all)
+
+(* --- fault injection: end-to-end campaign under a pool crash storm ----- *)
+
+let test_campaign_survives_worker_crashes () =
+  Metrics.reset ();
+  let run () =
+    with_faults ~seed:13L
+      [ ("pool.worker", { Faultpoint.rate = 0.2; after = 0; max_fires = 0 }) ]
+    @@ fun () ->
+    let cfg =
+      {
+        (Target.fuzzer_config ~seed:3L Contract.ct_seq Target.target5) with
+        Fuzzer.model_domains = 4;
+      }
+    in
+    Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases 40)
+  in
+  let o1, s1 = run () in
+  (* Crashes recovered index-by-index: the campaign result equals the
+     crash-free sequential one. *)
+  let clean =
+    Fuzzer.fuzz
+      (Target.fuzzer_config ~seed:3L Contract.ct_seq Target.target5)
+      ~budget:(Fuzzer.Test_cases 40)
+  in
+  check string "outcome equals crash-free run"
+    (outcome_summary (fst clean))
+    (outcome_summary o1);
+  check string "stats equal crash-free run"
+    (stats_fingerprint (snd clean))
+    (stats_fingerprint s1);
+  let snap = Metrics.snapshot () in
+  check bool "crashes actually happened" true
+    (Option.value
+       (List.assoc_opt "pool.worker_crashes" snap.Metrics.counters)
+       ~default:0
+    > 0)
+
+(* --- telemetry tail tolerance ----------------------------------------- *)
+
+let test_truncated_tail_tolerated () =
+  let buf = Buffer.create 256 in
+  Telemetry.enable_buffer buf;
+  Telemetry.event "unit.a" [ ("k", Json.Int 1) ];
+  Telemetry.event "unit.b" [];
+  Telemetry.disable ();
+  let good = Buffer.contents buf in
+  let truncated = good ^ "{\"ts\":123,\"kind\":\"ev" in
+  let scan s = Telemetry.scan_lines (String.split_on_char '\n' s) in
+  let sc = scan truncated in
+  check bool "no hard error" true (sc.Telemetry.sc_error = None);
+  check bool "truncation reported" true sc.Telemetry.sc_truncated_tail;
+  check int "intact lines still counted" 2 sc.Telemetry.sc_events;
+  (* The same garbage in the middle is NOT tolerated. *)
+  let corrupt = "{\"ts\":123,\"kind\":\"ev\n" ^ good in
+  let sc = scan corrupt in
+  check bool "mid-file corruption is an error" true
+    (sc.Telemetry.sc_error <> None);
+  (* And a fully well-formed file reports neither. *)
+  let sc = scan good in
+  check bool "clean file: no error" true (sc.Telemetry.sc_error = None);
+  check bool "clean file: no truncation" false sc.Telemetry.sc_truncated_tail
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "checkpoint",
+        [
+          tc "prng state round-trip" `Quick test_prng_state_roundtrip;
+          tc "resume bit-identical (seeds x pool sizes)" `Slow
+            test_resume_bit_identical;
+          tc "checkpoint file round-trip + rejection" `Quick
+            test_checkpoint_file_roundtrip;
+          tc "fingerprint sensitivity" `Quick test_fingerprint_sensitivity;
+          tc "coverage json round-trip" `Quick test_coverage_json_roundtrip;
+        ] );
+      ( "pool",
+        [
+          tc "crash recovery + degradation" `Quick test_pool_crash_recovery;
+          tc "task exceptions propagate" `Quick
+            test_pool_task_exception_propagates;
+          tc "campaign survives crash storm" `Slow
+            test_campaign_survives_worker_crashes;
+        ] );
+      ( "watchdog",
+        [
+          tc "fuel exhaustion raises" `Quick test_watchdog_fuel;
+          tc "pathological test cases skipped" `Quick
+            test_watchdog_skips_pathological;
+          tc "default ceiling transparent" `Slow
+            test_default_watchdog_transparent;
+        ] );
+      ( "faults",
+        [
+          tc "model fault absorbed" `Quick test_model_fault_absorbed;
+          tc "schedule deterministic" `Quick test_fault_schedule_deterministic;
+          tc "disabled points inert" `Quick test_faultpoint_disabled_is_inert;
+          tc "noise storm triggers adaptive reps" `Quick
+            test_noise_storm_triggers_adaptive;
+          tc "adaptive off is bit-identical" `Quick
+            test_adaptive_off_bit_identical;
+          tc "atomic writes retry injected faults" `Quick
+            test_atomic_write_retry;
+        ] );
+      ( "telemetry",
+        [ tc "truncated tail tolerated" `Quick test_truncated_tail_tolerated ] );
+    ]
