@@ -1,0 +1,43 @@
+#!/bin/sh
+# Usage: check_regression.sh BASELINE.json CURRENT.json
+#
+# Guards the perf-smoke CI job: fails (exit 1) when the spectre-v1
+# full-pipeline bechamel row of CURRENT is more than 25% slower than the
+# same row in BASELINE (the checked-in BENCH_PR6.json). The 25% headroom
+# absorbs shared-runner noise while still catching real regressions of
+# the batched execution engine.
+#
+# Pure sh + awk so it runs anywhere CI does. The row's key appears in
+# several blocks of the file (hardcoded "baseline", measured "current",
+# derived "speedup"); only the value inside the "current" block — the
+# one measured by that file's own run — is compared.
+set -eu
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 BASELINE.json CURRENT.json" >&2
+  exit 2
+fi
+
+key='full pipeline, spectre-v1'
+
+extract() {
+  awk -v key="$key" -F': ' '
+    /"current": \{/ { incur = 1 }
+    /"stages": \{/ { incur = 0 }
+    incur && index($0, key) { v = $NF; gsub(/[," ]/, "", v); found = v }
+    END { if (found == "") exit 1; print found }
+  ' "$1"
+}
+
+base=$(extract "$1") || { echo "no spectre-v1 row in $1" >&2; exit 2; }
+cur=$(extract "$2") || { echo "no spectre-v1 row in $2" >&2; exit 2; }
+
+awk -v b="$base" -v c="$cur" 'BEGIN {
+  limit = b * 1.25
+  printf "spectre-v1 full pipeline: baseline %.3f ms, current %.3f ms, limit %.3f ms\n", b, c, limit
+  if (c > limit) {
+    printf "FAIL: regression > 25%% vs checked-in baseline\n"
+    exit 1
+  }
+  printf "OK\n"
+}'

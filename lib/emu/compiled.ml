@@ -19,6 +19,34 @@ open Revizor_isa
    OCaml closure (threaded-code style), so the per-step dispatch is one
    indirect call instead of a match cascade.
 
+   The primary execution interface is the allocation-free {!raw} form:
+   the action mutates the state and appends its memory accesses to a
+   caller-owned reusable {!abuf} instead of consing an access list and an
+   outcome record per step. The legacy outcome-returning [actions] are a
+   thin wrapper over the raw form, kept for the differential tests and
+   ad-hoc callers.
+
+   On top of the raw actions, [of_flat] performs two static analyses that
+   enable basic-block superinstruction execution in the model:
+
+   - [run_len]/[nostore_len]: for every pc, the length of the maximal
+     straight-line run starting there (no control flow, no serializing
+     instruction; [nostore_len] additionally stops before stores, for
+     contracts with store-bypass clauses). A batched walker can execute
+     such a run as one fused block without re-checking any speculation
+     clause in between.
+
+   - dead-flag elimination: an instruction's flag computation is elided
+     in the [fused] action array when, on every path that continues past
+     it, the flags are fully overwritten (ADD/SUB/CMP/AND/OR/XOR/TEST/
+     IMUL/NEG) before any instruction can observe them. Observers are
+     the flag readers (ADC/SBB/CMOV/SETcc/Jcc) plus the partial flag
+     writers that merge old bits (INC/DEC preserve CF; shifts and
+     rotates preserve everything when the dynamic count is zero). DIV
+     and IDIV neither read nor write flags in the emulator. The analysis
+     is a suffix property of the straight-line run, so it holds for any
+     entry pc into the run.
+
    [interpreted] builds the same descriptors but keeps the semantic
    action as a call into {!Semantics.step}; it is the reference the
    compiled engine is differentially tested against (the two must be
@@ -28,8 +56,15 @@ open Revizor_isa
    execution state, so one value is safely shared read-only across
    domains (the parallel model stage). *)
 
-type ectx = { st : State.t; mutable acc : Semantics.access list }
+type abuf = {
+  mutable ab_len : int;
+  mutable ab_store : bool array;
+  mutable ab_addr : int64 array;
+  mutable ab_width : Width.t array;
+  mutable ab_value : int64 array;
+}
 
+type raw = State.t -> abuf -> unit
 type action = State.t -> Semantics.outcome
 
 (* Latency classification mirroring [Uarch_config.inst_latency]; the
@@ -66,7 +101,66 @@ type t = {
   flat : Program.flat;
   descs : desc array;
   actions : action array;
+  raws : raw array;
+  fused : raw array;
+  run_len : int array;
+  nostore_len : int array;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Access buffers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let abuf_create () =
+  {
+    ab_len = 0;
+    ab_store = Array.make 8 false;
+    ab_addr = Array.make 8 0L;
+    ab_width = Array.make 8 Width.W64;
+    ab_value = Array.make 8 0L;
+  }
+
+let abuf_clear ab = ab.ab_len <- 0
+
+let abuf_grow ab =
+  let cap = Array.length ab.ab_store in
+  let ncap = 2 * cap in
+  let grow a zero =
+    let a' = Array.make ncap zero in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  ab.ab_store <- grow ab.ab_store false;
+  ab.ab_addr <- grow ab.ab_addr 0L;
+  ab.ab_width <- grow ab.ab_width Width.W64;
+  ab.ab_value <- grow ab.ab_value 0L
+
+let[@inline] abuf_push ab ~is_store ~addr ~width ~value =
+  let n = ab.ab_len in
+  if n = Array.length ab.ab_store then abuf_grow ab;
+  ab.ab_store.(n) <- is_store;
+  ab.ab_addr.(n) <- addr;
+  ab.ab_width.(n) <- width;
+  ab.ab_value.(n) <- value;
+  ab.ab_len <- n + 1
+
+(* Materialize the recorded accesses as a [Semantics.access] list, in
+   occurrence order. Only used on cold paths (legacy outcomes, contract
+   stream recording). *)
+let abuf_accesses ab =
+  let rec go k acc =
+    if k < 0 then acc
+    else
+      go (k - 1)
+        ({
+           Semantics.kind = (if ab.ab_store.(k) then `Store else `Load);
+           addr = ab.ab_addr.(k);
+           width = ab.ab_width.(k);
+           value = ab.ab_value.(k);
+         }
+        :: acc)
+  in
+  go (ab.ab_len - 1) []
 
 (* ------------------------------------------------------------------ *)
 (* Operand accessors                                                   *)
@@ -96,14 +190,17 @@ let compile_addr (m : Operand.mem) : State.t -> int64 =
       fun st -> Int64.add (Int64.mul st.State.regs.(xi) sc) disp
   | None, None, _ -> fun _ -> disp
 
-let load ectx addr width =
-  let value = Memory.read ectx.st.State.mem ~addr width in
-  ectx.acc <- { Semantics.kind = `Load; addr; width; value } :: ectx.acc;
+(* Accesses are recorded only after the memory operation succeeded, so a
+   faulting access never appears in the buffer (matching the interpreter,
+   whose outcome never materializes on a fault). *)
+let[@inline] load (st : State.t) ab addr width =
+  let value = Memory.read st.State.mem ~addr width in
+  abuf_push ab ~is_store:false ~addr ~width ~value;
   value
 
-let store ectx addr width value =
-  Memory.write ectx.st.State.mem ~addr width value;
-  ectx.acc <- { Semantics.kind = `Store; addr; width; value } :: ectx.acc
+let[@inline] store (st : State.t) ab addr width value =
+  Memory.write st.State.mem ~addr width value;
+  abuf_push ab ~is_store:true ~addr ~width ~value
 
 (* Zero-extended register read at a fixed width. *)
 let compile_reg_read r w : State.t -> int64 =
@@ -132,38 +229,38 @@ let bad_dst () : 'a = invalid_arg "Semantics: immediate destination"
 
 (* Source operand read (zero-extended), cf. [Semantics.read_src]. [w] is
    the instruction's operand width, used only for immediates. *)
-let compile_read_src w (op : Operand.t) : ectx -> int64 =
+let compile_read_src w (op : Operand.t) : State.t -> abuf -> int64 =
   match op with
   | Operand.Reg (r, w') ->
       let f = compile_reg_read r w' in
-      fun ectx -> f ectx.st
+      fun st _ -> f st
   | Operand.Imm v ->
       let c = Word.zext w v in
-      fun _ -> c
+      fun _ _ -> c
   | Operand.Mem (m, w') ->
       let af = compile_addr m in
-      fun ectx -> load ectx (af ectx.st) w'
+      fun st ab -> load st ab (af st) w'
 
 (* Destination read for read-modify-write, cf. [Semantics.read_dst]. *)
-let compile_read_dst (op : Operand.t) : ectx -> int64 =
+let compile_read_dst (op : Operand.t) : State.t -> abuf -> int64 =
   match op with
   | Operand.Reg (r, w) ->
       let f = compile_reg_read r w in
-      fun ectx -> f ectx.st
+      fun st _ -> f st
   | Operand.Mem (m, w) ->
       let af = compile_addr m in
-      fun ectx -> load ectx (af ectx.st) w
-  | Operand.Imm _ -> fun _ -> bad_dst ()
+      fun st ab -> load st ab (af st) w
+  | Operand.Imm _ -> fun _ _ -> bad_dst ()
 
-let compile_write_dst (op : Operand.t) : ectx -> int64 -> unit =
+let compile_write_dst (op : Operand.t) : State.t -> abuf -> int64 -> unit =
   match op with
   | Operand.Reg (r, w) ->
       let f = compile_reg_write r w in
-      fun ectx v -> f ectx.st v
+      fun st _ v -> f st v
   | Operand.Mem (m, w) ->
       let af = compile_addr m in
-      fun ectx v -> store ectx (af ectx.st) w (Word.zext w v)
-  | Operand.Imm _ -> fun _ _ -> bad_dst ()
+      fun st ab v -> store st ab (af st) w (Word.zext w v)
+  | Operand.Imm _ -> fun _ _ _ -> bad_dst ()
 
 let operand_width (i : Instruction.t) =
   match List.find_map (fun op -> Operand.width op) i.Instruction.operands with
@@ -174,87 +271,129 @@ let operand_width (i : Instruction.t) =
 (* Semantic-action compilation                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Each compiled body receives an [ectx] and performs the instruction's
-   register/flag/memory effects; the shared wrapper advances pc and
-   packages the outcome exactly like [Semantics.step] does. *)
+(* Each compiled body performs the instruction's register/flag/memory
+   effects against [(state, abuf)]; the shared wrapper advances pc.
+   [~flags:false] compiles the dead-flag variant: identical register and
+   memory effects (same loads and stores, in the same order, faulting at
+   the same points) but without computing or writing the flag word. It
+   is only ever requested for positions the liveness analysis proved
+   unobservable, so eliding it cannot change any trace. *)
 
-let compile_binop (i : Instruction.t) dst src : ectx -> unit =
+let compile_binop ~flags (i : Instruction.t) dst src : State.t -> abuf -> unit =
   let w = operand_width i in
   let rd = compile_read_dst dst in
   let rs = compile_read_src w src in
   let wr = compile_write_dst dst in
   match i.Instruction.opcode with
-  | Opcode.Mov -> fun ectx -> wr ectx (rs ectx)
+  | Opcode.Mov -> fun st ab -> wr st ab (rs st ab)
   | Opcode.Add ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.add a b) in
-        ectx.st.State.flags <- Flags.after_add w ~a ~b ~carry_in:false ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_add w ~a ~b ~carry_in:false ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.add a b))
   | Opcode.Adc ->
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let flags = st.State.flags in
+        let a = rd st ab in
+        let b = rs st ab in
         let c = if flags.Flags.cf then 1L else 0L in
         let r = Word.zext w (Int64.add (Int64.add a b) c) in
-        ectx.st.State.flags <- Flags.after_add w ~a ~b ~carry_in:flags.Flags.cf ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_add w ~a ~b ~carry_in:flags.Flags.cf ~r;
+        wr st ab r
+      else fun st ab ->
+        let c = if st.State.flags.Flags.cf then 1L else 0L in
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.add (Int64.add a b) c))
   | Opcode.Sub ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.sub a b) in
-        ectx.st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.sub a b))
   | Opcode.Sbb ->
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let flags = st.State.flags in
+        let a = rd st ab in
+        let b = rs st ab in
         let c = if flags.Flags.cf then 1L else 0L in
         let r = Word.zext w (Int64.sub (Int64.sub a b) c) in
-        ectx.st.State.flags <-
-          Flags.after_sub w ~a ~b ~borrow_in:flags.Flags.cf ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:flags.Flags.cf ~r;
+        wr st ab r
+      else fun st ab ->
+        let c = if st.State.flags.Flags.cf then 1L else 0L in
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.sub (Int64.sub a b) c))
   | Opcode.Cmp ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.sub a b) in
-        ectx.st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r
+        st.State.flags <- Flags.after_sub w ~a ~b ~borrow_in:false ~r
+      else fun st ab ->
+        (* Loads (and their faults) must still happen, in order. *)
+        let _ = rd st ab in
+        let _ = rs st ab in
+        ()
   | Opcode.And ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.logand a b) in
-        ectx.st.State.flags <- Flags.after_logic w ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_logic w ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.logand a b))
   | Opcode.Or ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.logor a b) in
-        ectx.st.State.flags <- Flags.after_logic w ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_logic w ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.logor a b))
   | Opcode.Xor ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.logxor a b) in
-        ectx.st.State.flags <- Flags.after_logic w ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_logic w ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.logxor a b))
   | Opcode.Test ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let r = Word.zext w (Int64.logand a b) in
-        ectx.st.State.flags <- Flags.after_logic w ~r
+        st.State.flags <- Flags.after_logic w ~r
+      else fun st ab ->
+        let _ = rd st ab in
+        let _ = rs st ab in
+        ()
   | Opcode.Imul ->
-      fun ectx ->
-        let a = rd ectx in
-        let b = rs ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
         let sa = Word.sext w a and sb = Word.sext w b in
         let full = Int64.mul sa sb in
         let r = Word.zext w full in
@@ -265,23 +404,27 @@ let compile_binop (i : Instruction.t) dst src : ectx -> unit =
               && (Int64.div full sa <> sb || (sa = -1L && sb = Int64.min_int))
           | Width.W8 | Width.W16 | Width.W32 -> Word.sext w full <> full
         in
-        ectx.st.State.flags <- Flags.after_imul w ~full_overflow ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_imul w ~full_overflow ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        let b = rs st ab in
+        wr st ab (Word.zext w (Int64.mul (Word.sext w a) (Word.sext w b)))
   | Opcode.Cmov c -> (
       match dst with
       | Operand.Reg (r, w') ->
           let rold = compile_reg_read r w' in
-          fun ectx ->
-            let b = rs ectx in
-            let old = rold ectx.st in
-            let v = if Flags.eval_cond ectx.st.State.flags c then b else old in
-            wr ectx v
+          fun st ab ->
+            let b = rs st ab in
+            let old = rold st in
+            let v = if Flags.eval_cond st.State.flags c then b else old in
+            wr st ab v
       | Operand.Mem _ | Operand.Imm _ ->
-          fun _ -> invalid_arg "CMOV destination")
-  | Opcode.Movzx -> fun ectx -> wr ectx (rs ectx)
+          fun _ _ -> invalid_arg "CMOV destination")
+  | Opcode.Movzx -> fun st ab -> wr st ab (rs st ab)
   | Opcode.Movsx ->
       let ws = match Operand.width src with Some w' -> w' | None -> w in
-      fun ectx -> wr ectx (Word.sext ws (rs ectx))
+      fun st ab -> wr st ab (Word.sext ws (rs st ab))
   | Opcode.Xchg -> (
       match (dst, src) with
       | Operand.Reg (ra, wa), Operand.Reg (rb, _) ->
@@ -289,47 +432,55 @@ let compile_binop (i : Instruction.t) dst src : ectx -> unit =
           and rb_rd = compile_reg_read rb wa
           and ra_wr = compile_reg_write ra wa
           and rb_wr = compile_reg_write rb wa in
-          fun ectx ->
-            let va = ra_rd ectx.st and vb = rb_rd ectx.st in
-            ra_wr ectx.st vb;
-            rb_wr ectx.st va
+          fun st _ ->
+            let va = ra_rd st and vb = rb_rd st in
+            ra_wr st vb;
+            rb_wr st va
       | (Operand.Mem _ as mop), Operand.Reg (r, wr')
       | Operand.Reg (r, wr'), (Operand.Mem _ as mop) ->
           let m_rd = compile_read_dst mop and m_wr = compile_write_dst mop in
           let r_rd = compile_reg_read r wr' and r_wr = compile_reg_write r wr' in
-          fun ectx ->
-            let vm = m_rd ectx in
-            let vr = r_rd ectx.st in
-            m_wr ectx vr;
-            r_wr ectx.st vm
-      | _ -> fun _ -> invalid_arg "XCHG operands")
+          fun st ab ->
+            let vm = m_rd st ab in
+            let vr = r_rd st in
+            m_wr st ab vr;
+            r_wr st vm
+      | _ -> fun _ _ -> invalid_arg "XCHG operands")
   | Opcode.Rol | Opcode.Ror ->
       let op = if i.Instruction.opcode = Opcode.Rol then `Rol else `Ror in
       let count_mask = if Width.equal w Width.W64 then 63L else 31L in
       let bits = Width.bits w in
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
-        let raw_count = rs ectx in
-        let count = Int64.to_int (Int64.logand raw_count count_mask) in
-        let eff = count mod bits in
-        let a' = Word.zext w a in
-        let r =
-          if eff = 0 then a'
-          else
-            match op with
-            | `Rol ->
-                Word.zext w
-                  (Int64.logor (Int64.shift_left a' eff)
-                     (Int64.shift_right_logical a' (bits - eff)))
-            | `Ror ->
-                Word.zext w
-                  (Int64.logor
-                     (Int64.shift_right_logical a' eff)
-                     (Int64.shift_left a' (bits - eff)))
-        in
-        ectx.st.State.flags <- Flags.after_rotate w flags ~op ~count ~r;
-        if count <> 0 then wr ectx r
+      let result a' eff =
+        if eff = 0 then a'
+        else
+          match op with
+          | `Rol ->
+              Word.zext w
+                (Int64.logor (Int64.shift_left a' eff)
+                   (Int64.shift_right_logical a' (bits - eff)))
+          | `Ror ->
+              Word.zext w
+                (Int64.logor
+                   (Int64.shift_right_logical a' eff)
+                   (Int64.shift_left a' (bits - eff)))
+      in
+      if flags then
+        (fun st ab ->
+          let flags = st.State.flags in
+          let a = rd st ab in
+          let raw_count = rs st ab in
+          let count = Int64.to_int (Int64.logand raw_count count_mask) in
+          let eff = count mod bits in
+          let a' = Word.zext w a in
+          let r = result a' eff in
+          st.State.flags <- Flags.after_rotate w flags ~op ~count ~r;
+          if count <> 0 then wr st ab r)
+      else
+        fun st ab ->
+          let a = rd st ab in
+          let raw_count = rs st ab in
+          let count = Int64.to_int (Int64.logand raw_count count_mask) in
+          if count <> 0 then wr st ab (result (Word.zext w a) (count mod bits))
   | Opcode.Shl | Opcode.Shr | Opcode.Sar ->
       let op =
         match i.Instruction.opcode with
@@ -339,65 +490,80 @@ let compile_binop (i : Instruction.t) dst src : ectx -> unit =
       in
       let count_mask = if Width.equal w Width.W64 then 63L else 31L in
       let bits = Width.bits w in
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
-        let raw_count = rs ectx in
-        let count = Int64.to_int (Int64.logand raw_count count_mask) in
-        let r =
-          if count = 0 then Word.zext w a
-          else
-            match op with
-            | `Shl ->
-                if count >= bits then 0L
-                else Word.zext w (Int64.shift_left (Word.zext w a) count)
-            | `Shr ->
-                if count >= bits then 0L
-                else Int64.shift_right_logical (Word.zext w a) count
-            | `Sar ->
-                let sa = Word.sext w a in
-                let c = min count 63 in
-                Word.zext w (Int64.shift_right sa c)
-        in
-        ectx.st.State.flags <- Flags.after_shift w flags ~op ~a ~count ~r;
-        if count <> 0 then wr ectx r
-  | _ -> fun _ -> invalid_arg "Semantics.exec_binop"
+      let result a count =
+        match op with
+        | `Shl ->
+            if count >= bits then 0L
+            else Word.zext w (Int64.shift_left (Word.zext w a) count)
+        | `Shr ->
+            if count >= bits then 0L
+            else Int64.shift_right_logical (Word.zext w a) count
+        | `Sar ->
+            let sa = Word.sext w a in
+            let c = min count 63 in
+            Word.zext w (Int64.shift_right sa c)
+      in
+      if flags then
+        (fun st ab ->
+          let flags = st.State.flags in
+          let a = rd st ab in
+          let raw_count = rs st ab in
+          let count = Int64.to_int (Int64.logand raw_count count_mask) in
+          let r = if count = 0 then Word.zext w a else result a count in
+          st.State.flags <- Flags.after_shift w flags ~op ~a ~count ~r;
+          if count <> 0 then wr st ab r)
+      else
+        fun st ab ->
+          let a = rd st ab in
+          let raw_count = rs st ab in
+          let count = Int64.to_int (Int64.logand raw_count count_mask) in
+          if count <> 0 then wr st ab (result a count)
+  | _ -> fun _ _ -> invalid_arg "Semantics.exec_binop"
 
-let compile_unop (i : Instruction.t) dst : ectx -> unit =
+let compile_unop ~flags (i : Instruction.t) dst : State.t -> abuf -> unit =
   let w = operand_width i in
   let rd = compile_read_dst dst in
   let wr = compile_write_dst dst in
   match i.Instruction.opcode with
   | Opcode.Inc ->
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
+      if flags then fun st ab ->
+        let flags = st.State.flags in
+        let a = rd st ab in
         let r = Word.zext w (Int64.add a 1L) in
-        ectx.st.State.flags <- Flags.after_inc w flags ~a ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_inc w flags ~a ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        wr st ab (Word.zext w (Int64.add a 1L))
   | Opcode.Dec ->
-      fun ectx ->
-        let flags = ectx.st.State.flags in
-        let a = rd ectx in
+      if flags then fun st ab ->
+        let flags = st.State.flags in
+        let a = rd st ab in
         let r = Word.zext w (Int64.sub a 1L) in
-        ectx.st.State.flags <- Flags.after_dec w flags ~a ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_dec w flags ~a ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        wr st ab (Word.zext w (Int64.sub a 1L))
   | Opcode.Neg ->
-      fun ectx ->
-        let a = rd ectx in
+      if flags then fun st ab ->
+        let a = rd st ab in
         let r = Word.zext w (Int64.neg a) in
-        ectx.st.State.flags <- Flags.after_neg w ~a ~r;
-        wr ectx r
+        st.State.flags <- Flags.after_neg w ~a ~r;
+        wr st ab r
+      else fun st ab ->
+        let a = rd st ab in
+        wr st ab (Word.zext w (Int64.neg a))
   | Opcode.Not ->
-      fun ectx ->
-        let a = rd ectx in
-        wr ectx (Word.zext w (Int64.lognot a))
+      fun st ab ->
+        let a = rd st ab in
+        wr st ab (Word.zext w (Int64.lognot a))
   | Opcode.Setcc c ->
-      fun ectx ->
-        wr ectx (if Flags.eval_cond ectx.st.State.flags c then 1L else 0L)
-  | _ -> fun _ -> invalid_arg "Semantics.exec_unop"
+      fun st ab ->
+        wr st ab (if Flags.eval_cond st.State.flags c then 1L else 0L)
+  | _ -> fun _ _ -> invalid_arg "Semantics.exec_unop"
 
-let compile_div (i : Instruction.t) src : ectx -> unit =
+let compile_div (i : Instruction.t) src : State.t -> abuf -> unit =
   let w = operand_width i in
   let rs = compile_read_src w src in
   let rax_rd = compile_reg_read Reg.RAX w
@@ -405,10 +571,10 @@ let compile_div (i : Instruction.t) src : ectx -> unit =
   and rax_wr = compile_reg_write Reg.RAX w
   and rdx_wr = compile_reg_write Reg.RDX w in
   let signed = i.Instruction.opcode = Opcode.Idiv in
-  fun ectx ->
-    let divisor = rs ectx in
-    let rax = rax_rd ectx.st in
-    let rdx = rdx_rd ectx.st in
+  fun st ab ->
+    let divisor = rs st ab in
+    let rax = rax_rd st in
+    let rdx = rdx_rd st in
     if Word.zext w divisor = 0L then raise Semantics.Division_fault;
     let quotient, remainder =
       if not signed then
@@ -442,102 +608,90 @@ let compile_div (i : Instruction.t) src : ectx -> unit =
             then raise Semantics.Division_fault;
             (q, Int64.rem dividend sd)
     in
-    rax_wr ectx.st quotient;
-    rdx_wr ectx.st remainder
+    rax_wr st quotient;
+    rdx_wr st remainder
 
-let compile_action (flat : Program.flat) pc (i : Instruction.t) : action =
+let compile_raw (flat : Program.flat) pc (i : Instruction.t) ~flags : raw =
   let code_len = Array.length flat.Program.code in
   let fall = pc + 1 in
-  (* Straight-line body: run effects, fall through, package outcome. *)
-  let seq (body : ectx -> unit) : action =
-   fun st ->
-    let ectx = { st; acc = [] } in
-    body ectx;
-    st.State.pc <- fall;
-    {
-      Semantics.inst = i;
-      pc;
-      accesses = List.rev ectx.acc;
-      taken = None;
-      next = fall;
-    }
+  let seq (body : State.t -> abuf -> unit) : raw =
+   fun st ab ->
+    body st ab;
+    st.State.pc <- fall
   in
   match (i.Instruction.opcode, i.Instruction.operands) with
   | (Opcode.Lfence | Opcode.Mfence | Opcode.Nop), _ ->
-      fun st ->
-        st.State.pc <- fall;
-        { Semantics.inst = i; pc; accesses = []; taken = None; next = fall }
+      fun st _ -> st.State.pc <- fall
   | Opcode.Jmp, _ ->
       let target = flat.Program.target.(pc) in
-      fun st ->
-        st.State.pc <- target;
-        { Semantics.inst = i; pc; accesses = []; taken = None; next = target }
+      fun st _ -> st.State.pc <- target
   | Opcode.Jcc c, _ ->
       let target = flat.Program.target.(pc) in
-      fun st ->
-        let b = Flags.eval_cond st.State.flags c in
-        let next = if b then target else fall in
-        st.State.pc <- next;
-        { Semantics.inst = i; pc; accesses = []; taken = Some b; next }
+      fun st _ ->
+        st.State.pc <-
+          (if Flags.eval_cond st.State.flags c then target else fall)
   | Opcode.JmpInd, [ Operand.Reg (r, _) ] ->
       let rd = compile_reg_read r Width.W64 in
-      fun st ->
-        let next = Semantics.mask_code_index ~code_len (rd st) in
-        st.State.pc <- next;
-        { Semantics.inst = i; pc; accesses = []; taken = None; next }
+      fun st _ -> st.State.pc <- Semantics.mask_code_index ~code_len (rd st)
   | Opcode.Call, _ ->
       let target = flat.Program.target.(pc) in
       let rsp_rd = compile_reg_read Reg.stack_pointer Width.W64
       and rsp_wr = compile_reg_write Reg.stack_pointer Width.W64 in
       let ret_pc = Int64.of_int fall in
-      fun st ->
-        let ectx = { st; acc = [] } in
+      fun st ab ->
         let rsp = Int64.sub (rsp_rd st) 8L in
         rsp_wr st rsp;
-        store ectx rsp Width.W64 ret_pc;
-        st.State.pc <- target;
-        {
-          Semantics.inst = i;
-          pc;
-          accesses = List.rev ectx.acc;
-          taken = None;
-          next = target;
-        }
+        store st ab rsp Width.W64 ret_pc;
+        st.State.pc <- target
   | Opcode.Ret, _ ->
       let rsp_rd = compile_reg_read Reg.stack_pointer Width.W64
       and rsp_wr = compile_reg_write Reg.stack_pointer Width.W64 in
-      fun st ->
-        let ectx = { st; acc = [] } in
+      fun st ab ->
         let rsp = rsp_rd st in
-        let v = load ectx rsp Width.W64 in
+        let v = load st ab rsp Width.W64 in
         rsp_wr st (Int64.add rsp 8L);
-        let next = Semantics.mask_code_index ~code_len v in
-        st.State.pc <- next;
-        {
-          Semantics.inst = i;
-          pc;
-          accesses = List.rev ectx.acc;
-          taken = None;
-          next;
-        }
+        st.State.pc <- Semantics.mask_code_index ~code_len v
   | (Opcode.Div | Opcode.Idiv), [ src ] -> seq (compile_div i src)
   | ( ( Opcode.Add | Opcode.Adc | Opcode.Sub | Opcode.Sbb | Opcode.And
       | Opcode.Or | Opcode.Xor | Opcode.Cmp | Opcode.Test | Opcode.Mov
       | Opcode.Imul | Opcode.Cmov _ | Opcode.Shl | Opcode.Shr | Opcode.Sar
       | Opcode.Rol | Opcode.Ror | Opcode.Movzx | Opcode.Movsx | Opcode.Xchg ),
       [ dst; src ] ) ->
-      seq (compile_binop i dst src)
+      seq (compile_binop ~flags i dst src)
   | (Opcode.Inc | Opcode.Dec | Opcode.Neg | Opcode.Not | Opcode.Setcc _), [ dst ]
     ->
-      seq (compile_unop i dst)
+      seq (compile_unop ~flags i dst)
   | op, _ ->
       (* Unsupported shapes fault at execution time, like the interpreter:
          a program containing one on a never-executed path still
          compiles. *)
-      fun _ ->
+      fun _ _ ->
         invalid_arg
           (Printf.sprintf "Semantics.step: unsupported %s form"
              (Opcode.mnemonic op))
+
+(* Legacy outcome-returning action, layered over the raw form. The pc
+   after the raw action is the outcome's [next] for every opcode shape
+   (straight-line actions set it to the fall-through). *)
+let action_of_raw pc (i : Instruction.t) (raw : raw) : action =
+  let cond =
+    match i.Instruction.opcode with Opcode.Jcc c -> Some c | _ -> None
+  in
+  fun st ->
+    let ab = abuf_create () in
+    let taken =
+      match cond with
+      | Some c -> Some (Flags.eval_cond st.State.flags c)
+      | None -> None
+    in
+    raw st ab;
+    {
+      Semantics.inst = i;
+      pc;
+      accesses = abuf_accesses ab;
+      taken;
+      next = st.State.pc;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Descriptors                                                         *)
@@ -595,22 +749,122 @@ let desc_of (i : Instruction.t) : desc =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Static analyses: straight-line runs and dead flags                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Emulator-level flag effects. These deliberately differ from the
+   architectural tables in [Opcode]: DIV/IDIV are listed as flag writers
+   there (architecturally they leave flags undefined) but the emulator
+   gives them no flag effect at all, and the partial writers (INC/DEC,
+   shifts, rotates) merge old flag bits so they both observe and write. *)
+let emu_writes_flags (op : Opcode.t) =
+  match op with
+  | Opcode.Add | Opcode.Adc | Opcode.Sub | Opcode.Sbb | Opcode.And | Opcode.Or
+  | Opcode.Xor | Opcode.Cmp | Opcode.Test | Opcode.Imul | Opcode.Inc
+  | Opcode.Dec | Opcode.Neg | Opcode.Shl | Opcode.Shr | Opcode.Sar | Opcode.Rol
+  | Opcode.Ror ->
+      true
+  | _ -> false
+
+(* Full overwrite with no flag read: executing one of these makes the
+   incoming flag word unobservable. ADC/SBB overwrite fully but read CF
+   first, so they are observers, not killers. *)
+let flag_killer (op : Opcode.t) =
+  match op with
+  | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Cmp
+  | Opcode.Test | Opcode.Imul | Opcode.Neg ->
+      true
+  | _ -> false
+
+let flag_observer (op : Opcode.t) =
+  Opcode.reads_flags op
+  ||
+  match op with
+  | Opcode.Inc | Opcode.Dec | Opcode.Shl | Opcode.Shr | Opcode.Sar | Opcode.Rol
+  | Opcode.Ror ->
+      true
+  | _ -> false
+
+(* One backward pass computes, for every pc:
+   - [run_len]: length of the maximal straight-line (plain) run starting
+     at pc — no control flow, no serializing instruction;
+   - [nostore_len]: ditto, additionally 0 at stores (store-bypass
+     contracts need their clause checked at every store);
+   - [dead]: the instruction writes flags in the emulator and the flag
+     word it produces is overwritten by a killer before any observer can
+     read it, within the same plain run. Deadness of pc depends only on
+     the instructions after pc (a suffix property), so it is valid for
+     any entry point into the run, including mid-run entry after a
+     store-bypass clause. *)
+let analyze (descs : desc array) =
+  let n = Array.length descs in
+  let run_len = Array.make n 0 in
+  let nostore_len = Array.make n 0 in
+  let dead = Array.make n false in
+  (* kill_ahead.(pc): flags live at entry to pc die before observation. *)
+  let kill_ahead = Array.make (n + 1) false in
+  for pc = n - 1 downto 0 do
+    let d = descs.(pc) in
+    let plain = not (d.d_serializing || d.d_control_flow) in
+    if plain then begin
+      run_len.(pc) <- (1 + if pc + 1 < n then run_len.(pc + 1) else 0);
+      if not d.d_stores then
+        nostore_len.(pc) <- (1 + if pc + 1 < n then nostore_len.(pc + 1) else 0)
+    end;
+    let op = d.d_inst.Instruction.opcode in
+    kill_ahead.(pc) <-
+      plain
+      && (if flag_observer op then false
+          else if flag_killer op then true
+          else kill_ahead.(pc + 1));
+    dead.(pc) <- plain && emu_writes_flags op && kill_ahead.(pc + 1)
+  done;
+  (run_len, nostore_len, dead)
+
+(* ------------------------------------------------------------------ *)
 (* Construction and execution                                          *)
 (* ------------------------------------------------------------------ *)
 
 let of_flat (flat : Program.flat) : t =
-  {
-    flat;
-    descs = Array.map desc_of flat.Program.code;
-    actions = Array.mapi (fun pc i -> compile_action flat pc i) flat.Program.code;
-  }
+  let descs = Array.map desc_of flat.Program.code in
+  let run_len, nostore_len, dead = analyze descs in
+  let raws =
+    Array.mapi (fun pc i -> compile_raw flat pc i ~flags:true) flat.Program.code
+  in
+  let fused =
+    Array.mapi
+      (fun pc i ->
+        if dead.(pc) then compile_raw flat pc i ~flags:false else raws.(pc))
+      flat.Program.code
+  in
+  let actions =
+    Array.mapi (fun pc i -> action_of_raw pc i raws.(pc)) flat.Program.code
+  in
+  { flat; descs; actions; raws; fused; run_len; nostore_len }
 
 let interpreted (flat : Program.flat) : t =
+  let descs = Array.map desc_of flat.Program.code in
+  let run_len, nostore_len, _dead = analyze descs in
+  let raw : raw =
+   fun st ab ->
+    let o = Semantics.step flat st in
+    List.iter
+      (fun (a : Semantics.access) ->
+        abuf_push ab ~is_store:(a.Semantics.kind = `Store) ~addr:a.Semantics.addr
+          ~width:a.Semantics.width ~value:a.Semantics.value)
+      o.Semantics.accesses
+  in
+  let raws = Array.map (fun _ -> raw) flat.Program.code in
   {
     flat;
-    descs = Array.map desc_of flat.Program.code;
-    actions =
-      Array.map (fun _ -> fun st -> Semantics.step flat st) flat.Program.code;
+    descs;
+    actions = Array.map (fun _ st -> Semantics.step flat st) flat.Program.code;
+    raws;
+    (* The interpreted engine never elides flags; the differential suite
+       exercises exactly the claim that elision is unobservable. *)
+    fused = raws;
+    run_len;
+    nostore_len;
   }
 
 let of_program p = Result.map of_flat (Program.flatten p)

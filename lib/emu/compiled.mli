@@ -21,6 +21,26 @@ open Revizor_isa
     closures keep no shared mutable scratch, so one compiled program is
     safely shared read-only across domains. *)
 
+type abuf = {
+  mutable ab_len : int;
+  mutable ab_store : bool array;
+  mutable ab_addr : int64 array;
+  mutable ab_width : Width.t array;
+  mutable ab_value : int64 array;
+}
+(** Reusable, caller-owned memory-access buffer. Raw actions append the
+    accesses of one instruction (in occurrence order, [`Store] entries
+    flagged in [ab_store]); batched walkers accumulate a whole fused
+    block before consuming entries [0 .. ab_len-1]. Entries of a faulting
+    instruction may be partially present — consumers must truncate to the
+    mark taken before the instruction (see {!abuf_accesses}). *)
+
+type raw = State.t -> abuf -> unit
+(** Allocation-free semantic action: mutates the state (including pc) and
+    appends memory accesses to the buffer. Raises exactly what
+    {!Semantics.step} raises, at the same points, with the same partial
+    state mutation. *)
+
 type lat_class =
   | Lat_alu
   | Lat_mul
@@ -55,7 +75,24 @@ type t = private {
   flat : Program.flat;
   descs : desc array;
   actions : (State.t -> Semantics.outcome) array;
+      (** legacy outcome-returning actions, layered over {!raws} *)
+  raws : raw array;  (** primary allocation-free actions *)
+  fused : raw array;
+      (** {!raws} with provably-dead flag computation elided; only safe
+          inside batched walks whose final flag word is never observed *)
+  run_len : int array;
+      (** length of the maximal straight-line run starting at each pc
+          (no control flow, no serializing instruction) *)
+  nostore_len : int array;
+      (** like [run_len] but 0 at stores, for store-bypass contracts *)
 }
+
+val abuf_create : unit -> abuf
+val abuf_clear : abuf -> unit
+
+val abuf_accesses : abuf -> Semantics.access list
+(** Materialize entries [0 .. ab_len-1] as an access list, in occurrence
+    order. Cold-path only (legacy outcomes, contract stream recording). *)
 
 val of_flat : Program.flat -> t
 (** Compile every instruction to a specialised closure. *)

@@ -1,10 +1,59 @@
 open Revizor_isa
 
-type t = { data : bytes }
+type t = {
+  data : bytes;
+  (* Store-undo journal: while [j_on], every {!write} first saves the
+     overwritten bytes, so a transient episode can be rolled back by
+     undoing its few stores in reverse instead of blitting the whole
+     sandbox out and back (2 × 8 KiB per speculation episode, on the
+     executor's hottest path). Entries pack [off lsl 4 lor len] in
+     [j_meta] with the old bytes at [j_old.(8k..)]. Reverse-order replay
+     makes duplicate entries for the same location harmless. *)
+  mutable j_on : bool;
+  mutable j_n : int;
+  mutable j_meta : int array;
+  mutable j_old : bytes;
+}
 
 exception Fault of int64
 
-let create () = { data = Bytes.make Layout.sandbox_size '\000' }
+let create () =
+  {
+    data = Bytes.make Layout.sandbox_size '\000';
+    j_on = false;
+    j_n = 0;
+    j_meta = Array.make 32 0;
+    j_old = Bytes.create (8 * 32);
+  }
+
+let journal_note t off len =
+  if t.j_n >= Array.length t.j_meta then begin
+    let n = 2 * Array.length t.j_meta in
+    let meta = Array.make n 0 in
+    Array.blit t.j_meta 0 meta 0 t.j_n;
+    t.j_meta <- meta;
+    let old = Bytes.create (8 * n) in
+    Bytes.blit t.j_old 0 old 0 (8 * t.j_n);
+    t.j_old <- old
+  end;
+  Bytes.blit t.data off t.j_old (8 * t.j_n) len;
+  t.j_meta.(t.j_n) <- (off lsl 4) lor len;
+  t.j_n <- t.j_n + 1
+
+let journal_begin t =
+  t.j_on <- true;
+  t.j_n
+
+let journal_rollback t ~mark =
+  for k = t.j_n - 1 downto mark do
+    let e = t.j_meta.(k) in
+    Bytes.blit t.j_old (8 * k) t.data (e lsr 4) (e land 0xF)
+  done;
+  t.j_n <- mark
+
+let journal_end t =
+  t.j_on <- false;
+  t.j_n <- 0
 
 let check t addr width =
   let off = Int64.sub addr Layout.sandbox_base in
@@ -32,6 +81,7 @@ let read t ~addr width =
 
 let write t ~addr width v =
   let off = check t addr width in
+  if t.j_on then journal_note t off (Width.bytes width);
   match width with
   | Width.W8 -> Bytes.set_uint8 t.data off (Int64.to_int v land 0xFF)
   | Width.W16 -> Bytes.set_uint16_le t.data off (Int64.to_int v land 0xFFFF)
@@ -49,7 +99,13 @@ let fill t ~f =
   done
 
 let snapshot t = Bytes.copy t.data
+let snapshot_into t buf = Bytes.blit t.data 0 buf 0 (Bytes.length t.data)
 let restore t snap = Bytes.blit snap 0 t.data 0 (Bytes.length t.data)
-let copy t = { data = Bytes.copy t.data }
+let raw t = t.data
+
+let copy t =
+  let c = create () in
+  Bytes.blit t.data 0 c.data 0 (Bytes.length t.data);
+  c
 let blit_into src ~dst = Bytes.blit src.data 0 dst.data 0 (Bytes.length src.data)
 let equal a b = Bytes.equal a.data b.data

@@ -32,8 +32,32 @@ val fill : t -> f:(int -> int) -> unit
 (** Initialize every data byte from its offset ([f] returns 0–255); the
     guard tail is zeroed. *)
 
+val journal_begin : t -> int
+(** Start (or continue) recording store undo information; every
+    subsequent {!write} saves the bytes it overwrites. Returns a mark
+    for {!journal_rollback}. Cheap: a flag plus a few saved bytes per
+    store, vs. the full-sandbox blits of {!snapshot}/{!restore} — this
+    is how transient episodes roll back their stores. *)
+
+val journal_rollback : t -> mark:int -> unit
+(** Undo every journaled write since [mark] (most recent first),
+    restoring the memory image at {!journal_begin}. *)
+
+val journal_end : t -> unit
+(** Stop recording and discard the journal. *)
+
 val snapshot : t -> bytes
 val restore : t -> bytes -> unit
+
+val snapshot_into : t -> bytes -> unit
+(** Refill a buffer previously returned by {!snapshot} in place. *)
+
+val raw : t -> bytes
+(** The backing byte array (offset 0 = {!Layout.sandbox_base}). Escape
+    hatch for the input-materialization fast path, which fills the data
+    words with an unboxed PRNG loop; all other code must go through the
+    checked accessors. *)
+
 val copy : t -> t
 
 val blit_into : t -> dst:t -> unit

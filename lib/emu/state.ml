@@ -19,13 +19,27 @@ let set_reg t r w v =
   let i = Reg.index r in
   t.regs.(i) <- Word.merge w ~old:t.regs.(i) v
 
-type snapshot = { s_regs : int64 array; s_flags : Flags.t; s_mem : bytes; s_pc : int }
+type snapshot = {
+  s_regs : int64 array;
+  mutable s_flags : Flags.t;
+  s_mem : bytes;
+  mutable s_pc : int;
+}
 
 let snapshot t =
   { s_regs = Array.copy t.regs;
     s_flags = t.flags;
     s_mem = Memory.snapshot t.mem;
     s_pc = t.pc }
+
+(* Refill an existing snapshot in place: the speculative-exploration hot
+   loop takes a snapshot per clause, and reusing per-depth buffers keeps
+   that allocation-free. *)
+let snapshot_into t s =
+  Array.blit t.regs 0 s.s_regs 0 16;
+  s.s_flags <- t.flags;
+  Memory.snapshot_into t.mem s.s_mem;
+  s.s_pc <- t.pc
 
 let restore t s =
   Array.blit s.s_regs 0 t.regs 0 16;

@@ -24,6 +24,12 @@ type snapshot
 
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
+
+val snapshot_into : t -> snapshot -> unit
+(** Refill an existing snapshot in place (no allocation) — the buffer
+    reuse path for the per-depth snapshot arenas of the speculative
+    walkers. *)
+
 val copy : t -> t
 
 val copy_into : t -> dst:t -> unit

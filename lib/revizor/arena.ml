@@ -1,0 +1,42 @@
+open Revizor_emu
+
+(* Reusable pool of template states for input materialization.
+
+   [Input.templates] allocates a fresh 8 KiB [State.t] per input per test
+   case; at fuzzing throughput that is hundreds of megabytes of garbage
+   per minute. Template states are only ever (a) rewritten by
+   [Input.apply] and (b) read — the model and the executor copy them into
+   their own scratch states before executing — so the same pool of states
+   can be refilled for every test case.
+
+   Reuse is bit-identical to fresh allocation because [Input.apply]
+   rewrites everything a previous fill could have changed: all generator
+   pool registers, the flag word and every data word. The remaining state
+   (pc, non-pool registers, the guard/stack tail of the sandbox) keeps
+   its [State.create] values forever, since templates are never executed
+   on. *)
+
+type t = { mutable pool : State.t array; mutable view : State.t array }
+
+let create () = { pool = [||]; view = [||] }
+
+let ensure t n =
+  let cap = Array.length t.pool in
+  if cap < n then begin
+    let ncap = max n (max 8 (2 * cap)) in
+    t.pool <-
+      Array.init ncap (fun i -> if i < cap then t.pool.(i) else State.create ())
+  end
+
+let templates t inputs =
+  let n = List.length inputs in
+  ensure t n;
+  (* The cached view aliases pool entries, so it survives pool growth
+     (growth preserves the existing State values by reference). *)
+  if Array.length t.view <> n then t.view <- Array.sub t.pool 0 n;
+  (* [~data_hi_zero] holds inductively: pool states start as all-zero
+     [State.create] memory and are only ever rewritten by this fill,
+     which never stores a nonzero byte into the high half of a data
+     word (input values sit in bits 6..21). *)
+  List.iteri (fun i input -> Input.apply ~data_hi_zero:true input t.pool.(i)) inputs;
+  t.view

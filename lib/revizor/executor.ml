@@ -59,9 +59,26 @@ let default_config ?(threat = Attack.prime_probe) () =
     reset_between_inputs = false;
   }
 
-type t = { cpu : Cpu.t; cfg : config; scratch : Revizor_emu.State.t }
+type t = {
+  cpu : Cpu.t;
+  cfg : config;
+  scratch : Revizor_emu.State.t;
+  (* Per-measurement scratch reused across [measure] calls: the occurrence
+     count matrix and the per-input event accumulator. Grown on demand and
+     reset in place, so the steady-state measurement loop allocates
+     nothing per call. Row width is fixed by the config's threat mode. *)
+  mutable counts : int array array;
+  mutable ev_acc : (Cpu.speculation_kind * Htrace.t) list list array;
+}
 
-let create cpu cfg = { cpu; cfg; scratch = Revizor_emu.State.create () }
+let create cpu cfg =
+  {
+    cpu;
+    cfg;
+    scratch = Revizor_emu.State.create ();
+    counts = [||];
+    ev_acc = [||];
+  }
 let cpu t = t.cpu
 let config t = t.cfg
 
@@ -128,7 +145,8 @@ let last_data_word =
    the template into the executor's scratch state instead of re-deriving
    the PRNG stream (a sequence runs many times: warm-up rounds,
    measurement repetitions and swap-check re-measurements). *)
-let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
+let run_sequence ?(with_events = true) t flat
+    (templates : Revizor_emu.State.t array) ~record =
   Metrics.incr m_sequences;
   Metrics.add m_input_runs (Array.length templates);
   Array.iteri
@@ -149,11 +167,14 @@ let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
       let events =
         (* keep every episode for mechanism labelling; episodes without
            cache touches carry an empty set and are never selected by the
-           trace-difference attribution *)
-        List.map
-          (fun (e : Cpu.event) ->
-            (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
-          (Cpu.events t.cpu)
+           trace-difference attribution. Skipped for rounds whose record
+           callback discards them (warm-up). *)
+        if with_events then
+          List.map
+            (fun (e : Cpu.event) ->
+              (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
+            (Cpu.events t.cpu)
+        else []
       in
       record idx trace events)
     templates
@@ -161,6 +182,22 @@ let run_sequence t flat (templates : Revizor_emu.State.t array) ~record =
 let templates_of inputs = function
   | Some tpl -> tpl
   | None -> Input.templates inputs
+
+(* Make rows [0, n) of the cached measurement buffers available and
+   zeroed. Only those rows are ever read afterwards. *)
+let ensure_buffers t ~n ~domain =
+  let cap = Array.length t.counts in
+  if cap < n then begin
+    let ncap = max n (max 8 (2 * cap)) in
+    t.counts <-
+      Array.init ncap (fun i ->
+          if i < cap then t.counts.(i) else Array.make domain 0);
+    t.ev_acc <- Array.make ncap []
+  end;
+  for i = 0 to n - 1 do
+    Array.fill t.counts.(i) 0 domain 0;
+    t.ev_acc.(i) <- []
+  done
 
 let measure ?templates t flat inputs =
   Faultpoint.fire fp_measure;
@@ -170,16 +207,17 @@ let measure ?templates t flat inputs =
   Metrics.add m_warmups t.cfg.warmup_rounds;
   Cpu.reset_session t.cpu;
   for _ = 1 to t.cfg.warmup_rounds do
-    run_sequence t flat templates ~record:(fun _ _ _ -> ())
+    run_sequence ~with_events:false t flat templates ~record:(fun _ _ _ -> ())
   done;
   (* Per-input occurrence counts over the (small, dense) trace domain: a
      flat increment per observation instead of an assoc-list rebuild. *)
   let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
-  let counts = Array.make_matrix n domain 0 in
+  ensure_buffers t ~n ~domain;
+  let counts = t.counts in
   (* Per-rep event lists are consed and concatenated once at the end;
      appending with [@] here would rebuild the accumulated list on every
      repetition (quadratic in reps). *)
-  let events = Array.make n [] in
+  let events = t.ev_acc in
   let base_reps = max 1 t.cfg.measurement_reps in
   let reps_done = ref 0 in
   let run_reps k =
@@ -208,16 +246,17 @@ let measure ?templates t flat inputs =
       let reject_ratio () =
         let thr = threshold_for !reps_done in
         let observed = ref 0 and rejected = ref 0 in
-        Array.iter
-          (fun row ->
-            Array.iter
-              (fun c ->
-                if c > 0 then begin
-                  incr observed;
-                  if c < thr then incr rejected
-                end)
-              row)
-          counts;
+        (* Only the first [n] rows belong to this measurement — the cached
+           matrix may be wider than the current input set. *)
+        for i = 0 to n - 1 do
+          Array.iter
+            (fun c ->
+              if c > 0 then begin
+                incr observed;
+                if c < thr then incr rejected
+              end)
+            counts.(i)
+        done;
         if !observed = 0 then 0.
         else float_of_int !rejected /. float_of_int !observed
       in

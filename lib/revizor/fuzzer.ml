@@ -13,6 +13,7 @@ module Json = Revizor_obs.Json
 let sp_generate = Probe.create "generate"
 let sp_checkpoint = Probe.create "checkpoint"
 let sp_compile = Probe.create "compile"
+let sp_materialize = Probe.create "materialize"
 let sp_model = Probe.create "model"
 let sp_execute = Probe.create "execute"
 let sp_analyze = Probe.create "analyze"
@@ -136,10 +137,10 @@ type snapshot = {
 
 (* Contract traces, fanned out over the model pool when one is given. A
    missing pool (or a pool of size 1) is the exact sequential path. *)
-let model_ctraces ?pool ?watchdog ?templates contract prog inputs =
+let model_ctraces ?pool ?watchdog ?templates ?stream contract prog inputs =
   match pool with
-  | Some p -> Model.ctraces_par ?watchdog ?templates p contract prog inputs
-  | None -> Model.ctraces ?watchdog ?templates contract prog inputs
+  | Some p -> Model.ctraces_par ?watchdog ?templates ?stream p contract prog inputs
+  | None -> Model.ctraces ?watchdog ?templates ?stream contract prog inputs
 
 (* The nesting re-check (§5.4): recompute contract traces with nested
    speculation enabled; the violating pair must still share a class and
@@ -151,8 +152,8 @@ let nesting_recheck ?pool ?templates config prog inputs measurements
     let nested = Contract.with_nesting config.contract in
     let results =
       Probe.with_span sp_nesting (fun () ->
-          model_ctraces ?pool ~watchdog:config.watchdog ?templates nested prog
-            inputs)
+          model_ctraces ?pool ~watchdog:config.watchdog ?templates
+            ~stream:`First nested prog inputs)
     in
     if List.exists (fun (r : Model.result) -> r.Model.faulted) results then false
     else
@@ -184,7 +185,7 @@ type checked = {
   dismissed_nesting : bool;
 }
 
-let check_test_case_full ?pool config executor program inputs :
+let check_test_case_full ?pool ?arena config executor program inputs :
     (checked, string) result =
   match Program.flatten program with
   | Error msg -> Error msg
@@ -192,20 +193,26 @@ let check_test_case_full ?pool config executor program inputs :
       (* Compile the program exactly once per test case: the model passes
          (including the nesting re-check), every executor warm-up round,
          measurement repetition and swap-check re-measurement all reuse
-         the same decoded descriptors and action closures. *)
-      let prog, templates =
-        Probe.with_span sp_compile (fun () ->
-            let prog = compile_with config.engine flat in
-            (* Materialize each input's architectural state exactly once per
-               test case; the model passes, the executor's warm-up/measurement
-               repetitions and the swap-check re-measurements all blit-restore
-               these templates. *)
-            (prog, Input.templates inputs))
+         the same decoded descriptors, raw closures and fused
+         superinstruction blocks. *)
+      let prog =
+        Probe.with_span sp_compile (fun () -> compile_with config.engine flat)
+      in
+      (* Materialize each input's architectural state exactly once per
+         test case; the model passes, the executor's warm-up/measurement
+         repetitions and the swap-check re-measurements all blit-restore
+         these templates. A campaign-owned arena refills the same pooled
+         states per test case instead of allocating fresh ones. *)
+      let templates =
+        Probe.with_span sp_materialize (fun () ->
+            match arena with
+            | Some a -> Arena.templates a inputs
+            | None -> Input.templates inputs)
       in
       let results =
         Probe.with_span sp_model (fun () ->
             model_ctraces ?pool ~watchdog:config.watchdog ~templates
-              config.contract prog inputs)
+              ~stream:`First config.contract prog inputs)
       in
       if List.exists (fun (r : Model.result) -> r.Model.faulted) results then
         Error "architectural fault"
@@ -343,6 +350,15 @@ let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
 
 let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     ?(checkpoint_every = 0) ?on_checkpoint config ~budget =
+  (* Campaign GC tuning: the loop allocates a steady stream of short-lived
+     values (model results, event lists, analyzer classes); the default
+     256 KiB minor heap forces a minor collection every few test cases and
+     promotes values that die moments later. A larger nursery lets whole
+     test cases live and die within it. Only ever grows the setting, so a
+     caller's own tuning wins. *)
+  (let g = Gc.get () in
+   if g.Gc.minor_heap_size < 8 * 1024 * 1024 then
+     Gc.set { g with Gc.minor_heap_size = 8 * 1024 * 1024 });
   let prng =
     match resume with
     | Some s -> Prng.of_state s.sn_prng
@@ -356,6 +372,10 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
   | _ -> ());
   let cpu = Cpu.create config.uarch in
   let executor = Executor.create cpu config.executor in
+  (* One template arena per campaign: every test case refills the same
+     pooled input states (bit-identical to fresh allocation, see
+     {!Arena}). *)
+  let arena = Arena.create () in
   let pool =
     if config.model_domains > 1 then Some (Pool.create config.model_domains)
     else None
@@ -445,7 +465,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     in
     stats.inputs_tested <- stats.inputs_tested + List.length inputs;
     Metrics.add m_inputs_tested (List.length inputs);
-    (match check_test_case_full ?pool config executor program inputs with
+    (match check_test_case_full ?pool ~arena config executor program inputs with
     | exception Watchdog.Pathological reason ->
         (* A step/time budget tripped mid-model: skip the test case,
            count it, and keep the campaign alive. *)

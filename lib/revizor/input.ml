@@ -24,22 +24,88 @@ let flags_of sub entropy =
     af = b 5;
   }
 
-let apply t (state : State.t) =
+(* The data-word fill dominates input materialization: 1024 words × 8
+   bytes per input, ~50+ inputs per test case. Without flambda every
+   [Prng.next] round-trips through boxed Int64 arithmetic, so the hot
+   path below simulates xorshift64* on two unboxed 32-bit native-int
+   limbs and writes through [Bytes.set_uint16_le]. The limb recurrence
+   reproduces the generator's bit stream exactly, and because a data
+   word is [bits entropy << 6] with entropy ≤ 16, only the low 16 bits
+   of the final [* 0x2545F4914F6CDD1D] multiply can reach the value —
+   one untagged 16×16-bit multiply replaces the boxed 64-bit one.
+   Differentially verified against [Prng.bits] (and guarded by the
+   compiled-vs-interpreted suites downstream). *)
+let mask32 = 0xFFFFFFFF
+
+(* Unchecked 16-bit store: the fill loop writes fixed offsets [0, 8*words)
+   into a buffer whose length the caller guarantees, so the per-store
+   bounds checks of [Bytes.set_uint16_le] are pure overhead. The %
+   primitive stores in native byte order; fall back to the checked
+   little-endian accessor on big-endian platforms. *)
+external unsafe_set_16 : bytes -> int -> int -> unit = "%caml_bytes_set16u"
+
+let[@inline] set16_le buf off v =
+  if Sys.big_endian then Bytes.set_uint16_le buf off v
+  else unsafe_set_16 buf off v
+
+let fill_words_fast mem ~state ~entropy ~hi_zero ~words =
+  let buf = Memory.raw mem in
+  (* One bounds check for the whole fill instead of one per store. *)
+  if 8 * words > Bytes.length buf then invalid_arg "Input.fill_words_fast";
+  let hi = ref (Int64.to_int (Int64.shift_right_logical state 32))
+  and lo = ref (Int64.to_int (Int64.logand state 0xFFFF_FFFFL)) in
+  let mul_lo16 = 0x2545F4914F6CDD1D land 0xFFFF in
+  let vmask = (1 lsl entropy) - 1 in
+  for w = 0 to words - 1 do
+    (* s ^= s >>> 12 *)
+    let h = !hi and l = !lo in
+    let l = l lxor (((l lsr 12) lor (h lsl 20)) land mask32)
+    and h = h lxor (h lsr 12) in
+    (* s ^= s << 25 *)
+    let h = h lxor (((h lsl 25) lor (l lsr 7)) land mask32)
+    and l = l lxor ((l lsl 25) land mask32) in
+    (* s ^= s >>> 27 *)
+    let l = l lxor (((l lsr 27) lor (h lsl 5)) land mask32)
+    and h = h lxor (h lsr 27) in
+    hi := h;
+    lo := l;
+    (* low 16 bits of s * 0x2545F4914F6CDD1D, masked to [entropy] bits,
+       shifted into the cache-line-index window (bits 6..21) *)
+    let v = ((l land 0xFFFF) * mul_lo16) land vmask in
+    let off = w * 8 in
+    set16_le buf off ((v lsl 6) land 0xFFFF);
+    set16_le buf (off + 2) (v lsr 10);
+    (* With entropy ≤ 16 the value never reaches past bit 21, so bytes
+       4..7 of every data word are written as zero. When the caller
+       guarantees they are zero already ([hi_zero]), skip the stores —
+       half the writes of an 8 KiB fill. *)
+    if not hi_zero then begin
+      set16_le buf (off + 4) 0;
+      set16_le buf (off + 6) 0
+    end
+  done
+
+let apply ?(data_hi_zero = false) t (state : State.t) =
   let sub = Prng.create ~seed:t.seed in
   List.iter
     (fun r -> State.set_reg state r Width.W64 (value_of sub t.entropy))
     Reg.gen_pool;
   state.State.flags <- flags_of sub t.entropy;
   let words = Layout.data_pages * Layout.page_size / 8 in
-  (* Aligned word writes by offset: this fills 8 KiB per input per test
-     case, so it skips the [Memory.write] Int64 address arithmetic. *)
-  for w = 0 to words - 1 do
-    Memory.write_data_word state.State.mem ~word:w (value_of sub t.entropy)
-  done
+  if t.entropy >= 0 && t.entropy <= 16 then
+    fill_words_fast state.State.mem ~state:(Prng.state sub) ~entropy:t.entropy
+      ~hi_zero:data_hi_zero ~words
+  else
+    (* Aligned word writes by offset: this fills 8 KiB per input per test
+       case, so it skips the [Memory.write] Int64 address arithmetic. *)
+    for w = 0 to words - 1 do
+      Memory.write_data_word state.State.mem ~word:w (value_of sub t.entropy)
+    done
 
 let to_state t =
   let state = State.create () in
-  apply t state;
+  (* Fresh states are all-zero, so the high-half stores are redundant. *)
+  apply ~data_hi_zero:true t state;
   state
 
 let templates inputs = Array.of_list (List.map to_state inputs)

@@ -15,8 +15,12 @@ type t = { seed : int64; entropy : int }
 val generate : Prng.t -> entropy:int -> t
 val generate_many : Prng.t -> entropy:int -> n:int -> t list
 
-val apply : t -> State.t -> unit
-(** Overwrite registers (generator pool), FLAGS and sandbox memory. *)
+val apply : ?data_hi_zero:bool -> t -> State.t -> unit
+(** Overwrite registers (generator pool), FLAGS and sandbox memory.
+    [~data_hi_zero:true] (default [false]) asserts that bytes 4..7 of
+    every data word in [state] are already zero — true for fresh states
+    and for states only ever filled by [apply] — letting the fill skip
+    the redundant zero stores (half the writes of the 8 KiB fill). *)
 
 val to_state : t -> State.t
 (** Fresh architectural state initialized from the input. *)

@@ -52,23 +52,51 @@ val run_state :
     place). [run contract prog input] is
     [run_state contract prog (Input.to_state input)]. *)
 
+val batch :
+  ?max_steps:int ->
+  ?watchdog:Watchdog.t ->
+  ?pool:Pool.t ->
+  ?stream:[ `All | `First ] ->
+  Contract.t ->
+  Compiled.t ->
+  ?templates:State.t array ->
+  Input.t list ->
+  result list
+(** The batched model stage: specialize a per-test-case closure once
+    (contract dispatch, fused straight-line-run metadata, pool decision),
+    then invoke it with the full input set. Every input executes on a
+    preallocated per-domain scratch state reset in place from its
+    template (arena allocation: no per-input state, access-list or
+    outcome allocation), with basic-block superinstruction fusion and
+    dead-flag elision on the hot path. Results are bit-identical to
+    mapping {!run_state} over the inputs — same ctraces, same faults,
+    same order — for every pool size.
+
+    [stream] selects instruction-stream recording: [`All] (default)
+    records every input's stream like {!run}; [`First] records only
+    input 0 (all the fuzzer's pattern analysis needs) and runs the rest
+    allocation-free. *)
+
 val ctraces :
   ?max_steps:int ->
   ?watchdog:Watchdog.t ->
   ?templates:State.t array ->
+  ?stream:[ `All | `First ] ->
   Contract.t ->
   Compiled.t ->
   Input.t list ->
   result list
-(** Contract traces for each input in order. When [templates] (from
-    {!Input.templates}, indexed like the list) is given, each run starts
-    from a blit-restore of the corresponding template instead of
-    re-deriving the state from the input's PRNG seed. *)
+(** Contract traces for each input in order ([batch] without a pool).
+    When [templates] (from {!Input.templates} or {!Arena.templates},
+    indexed like the list) is given, each run starts from a blit-restore
+    of the corresponding template instead of re-deriving the state from
+    the input's PRNG seed. *)
 
 val ctraces_par :
   ?max_steps:int ->
   ?watchdog:Watchdog.t ->
   ?templates:State.t array ->
+  ?stream:[ `All | `First ] ->
   Pool.t ->
   Contract.t ->
   Compiled.t ->

@@ -22,6 +22,25 @@ module Metrics = Revizor_obs.Metrics
 module Telemetry = Revizor_obs.Telemetry
 module Faultpoint = Revizor_obs.Faultpoint
 module Json = Revizor_obs.Json
+module Clock = Revizor_obs.Clock
+
+(* The per-call work state lives in one record reused across [map_array]
+   calls, so the hot path allocates no fresh atomics, locks or drain
+   closures per call — only the single [j_run] closure binding the call's
+   own [f]/input array/result slots. The claim counter [j_next] packs the
+   job epoch in its high bits (see [drain]) so stale drain tasks left in
+   the queue by a previous call can never steal indices from the current
+   one. *)
+type job = {
+  j_epoch : int Atomic.t;  (* bumped at the start of every map_array *)
+  j_next : int Atomic.t;  (* packed [epoch lsl epoch_bits lor index] *)
+  j_remaining : int Atomic.t;
+  j_lock : Mutex.t;
+  j_done : Condition.t;
+  mutable j_parked : int list;
+  mutable j_n : int;
+  mutable j_run : int -> unit;
+}
 
 type t = {
   size : int;
@@ -33,6 +52,9 @@ type t = {
   failures : int Atomic.t;  (* worker crashes over the pool's lifetime *)
   max_failures : int;
   degraded : bool Atomic.t;
+  job : job;
+  mutable drain_task : unit -> unit;
+      (* the one drain closure every map_array submits *)
   task_counters : Metrics.counter array;
       (* per-participant utilization: slot 0 is the submitting domain,
          slots 1.. are the workers; [pool.domain<i>.tasks] in the
@@ -50,8 +72,12 @@ let m_items = Metrics.counter "pool.items"
 let m_crashes = Metrics.counter "pool.worker_crashes"
 let m_retried = Metrics.counter "pool.retried_items"
 let m_degradations = Metrics.counter "pool.degradations"
+let h_task_ns = Metrics.histogram "pool.task_ns"
 
 let fp_worker = Faultpoint.point "pool.worker"
+
+let epoch_bits = 32
+let index_mask = (1 lsl epoch_bits) - 1
 
 let record_crash p =
   Metrics.incr m_crashes;
@@ -63,6 +89,78 @@ let record_crash p =
     if Telemetry.enabled () then
       Telemetry.event "pool.degraded" [ ("after_failures", Json.Int n) ]
   end
+
+let park j i =
+  Mutex.lock j.j_lock;
+  j.j_parked <- i :: j.j_parked;
+  Condition.signal j.j_done;
+  Mutex.unlock j.j_lock
+
+(* One participant's claim loop over the pool's current job. Validation
+   order matters for staleness: a claim decoding an epoch other than the
+   live one is from a previous job's counter and is discarded; a claim
+   with the live epoch but an index beyond [j_n] means the counter is
+   exhausted. [map_array] bumps the epoch before touching [j_n]/[j_run]
+   and publishes the reset counter last, so every claim that passes both
+   checks belongs to the current job — and a participant holding such a
+   claim blocks job completion (the item can only be finished by that
+   participant), which keeps [j_run]/[j_n] stable underneath it.
+
+   The per-item bookkeeping is allocation- and DLS-lookup-free: the
+   participant's utilization counter is resolved once per drain and
+   flushed in one [Metrics.add]; task latency goes to the [pool.task_ns]
+   histogram on every 16th item by index (deterministic sampling, and the
+   name is excluded from cross-domain determinism checks like every other
+   wall-clock metric). *)
+let drain p =
+  let j = p.job in
+  let counter = p.task_counters.(Domain.DLS.get slot_key) in
+  let done_here = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let v = Atomic.fetch_and_add j.j_next 1 in
+    let e = v lsr epoch_bits and i = v land index_mask in
+    if e <> Atomic.get j.j_epoch || i >= j.j_n then continue := false
+    else if Faultpoint.should_fire fp_worker then begin
+      (* Simulated domain crash: the claimed item is recovered by the
+         supervisor; this participant is gone for the rest of the
+         call. *)
+      record_crash p;
+      park j i;
+      continue := false
+    end
+    else begin
+      (if i land 15 = 0 then begin
+         let t0 = Clock.now_ns () in
+         j.j_run i;
+         Metrics.observe h_task_ns (Clock.now_ns () - t0)
+       end
+       else j.j_run i);
+      incr done_here
+    end
+  done;
+  if !done_here > 0 then Metrics.add counter !done_here
+
+(* Recovery drain for the supervisor: claims like [drain] but never
+   consults the fault point — the supervisor context is the recovery
+   path, and it must make progress even when every schedule entry says
+   "crash". Only ever runs inside the supervisor's own [map_array], so no
+   epoch check is needed. *)
+let drain_unclaimed p =
+  let j = p.job in
+  let counter = p.task_counters.(Domain.DLS.get slot_key) in
+  let done_here = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let v = Atomic.fetch_and_add j.j_next 1 in
+    let i = v land index_mask in
+    if i >= j.j_n then continue := false
+    else begin
+      j.j_run i;
+      incr done_here
+    end
+  done;
+  if !done_here > 0 then Metrics.add counter !done_here
 
 let worker p =
   let rec loop () =
@@ -96,11 +194,24 @@ let create ?(max_failures = 8) size =
       failures = Atomic.make 0;
       max_failures = max 1 max_failures;
       degraded = Atomic.make false;
+      job =
+        {
+          j_epoch = Atomic.make 0;
+          j_next = Atomic.make 0;
+          j_remaining = Atomic.make 0;
+          j_lock = Mutex.create ();
+          j_done = Condition.create ();
+          j_parked = [];
+          j_n = 0;
+          j_run = ignore;
+        };
+      drain_task = ignore;
       task_counters =
         Array.init size (fun i ->
             Metrics.counter (Printf.sprintf "pool.domain%d.tasks" i));
     }
   in
+  p.drain_task <- (fun () -> drain p);
   if size > 1 then
     p.workers <-
       List.init (size - 1) (fun i ->
@@ -127,95 +238,65 @@ let map_array p f arr =
     Metrics.incr m_map_calls;
     Metrics.add m_items n;
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let remaining = Atomic.make n in
-    (* Completion barrier: the last finisher signals instead of every
-       waiter spinning on [remaining] (a large model stage would otherwise
-       burn a core busy-waiting). The same lock/condition also wakes the
-       supervisor when a crashed participant parks an index. *)
-    let done_lock = Mutex.create () in
-    let all_done = Condition.create () in
-    let parked = ref [] in
-    let complete i outcome =
-      results.(i) <- Some outcome;
-      if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        Mutex.lock done_lock;
-        Condition.signal all_done;
-        Mutex.unlock done_lock
-      end
-    in
-    let park i =
-      Mutex.lock done_lock;
-      parked := i :: !parked;
-      Condition.signal all_done;
-      Mutex.unlock done_lock
-    in
+    let j = p.job in
+    (* Initialize the reused job record for this call. The epoch bump
+       comes first and the claim-counter reset last: a stale drain task
+       waking mid-reset either decodes the old epoch (discarded) or sees
+       the fully-published new job (legitimate participation). *)
+    let epoch = Atomic.get j.j_epoch + 1 in
+    Atomic.set j.j_epoch epoch;
+    j.j_n <- n;
+    j.j_parked <- [];
+    Atomic.set j.j_remaining n;
     (* [f]'s own exceptions are captured per item and re-raised after the
        barrier so a failing task cannot deadlock the pool; a harness
-       crash instead parks the claimed index for the supervisor. *)
-    let process i =
-      complete i (match f arr.(i) with v -> Ok v | exception e -> Error e);
-      Metrics.incr p.task_counters.(Domain.DLS.get slot_key)
-    in
-    (* Every participant drains indices until none are left or it
-       crashes. *)
-    let drain () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else if Faultpoint.should_fire fp_worker then begin
-          (* Simulated domain crash: the claimed item is recovered by the
-             supervisor; this participant is gone for the rest of the
-             call. *)
-          record_crash p;
-          park i;
-          continue := false
-        end
-        else process i
-      done
-    in
-    (* Recovery drain for the supervisor: claims like [drain] but never
-       consults the fault point — the supervisor context is the recovery
-       path, and it must make progress even when every schedule entry
-       says "crash". *)
-    let drain_unclaimed () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false else process i
-      done
-    in
+       crash instead parks the claimed index for the supervisor. The last
+       finisher signals the completion barrier instead of every waiter
+       spinning on [j_remaining]. *)
+    j.j_run <-
+      (fun i ->
+        let outcome =
+          match f arr.(i) with v -> Ok v | exception e -> Error e
+        in
+        results.(i) <- Some outcome;
+        if Atomic.fetch_and_add j.j_remaining (-1) = 1 then begin
+          Mutex.lock j.j_lock;
+          Condition.signal j.j_done;
+          Mutex.unlock j.j_lock
+        end);
+    Atomic.set j.j_next (epoch lsl epoch_bits);
     for _ = 1 to min (p.size - 1) (n - 1) do
-      submit p drain
+      submit p p.drain_task
     done;
-    drain ();
+    drain p;
     (* Supervision loop: retry parked indices and adopt any indices left
        unclaimed by crashed participants (including this domain's own
        simulated crash), until every slot is filled. *)
-    Mutex.lock done_lock;
-    while Atomic.get remaining > 0 do
-      match !parked with
+    Mutex.lock j.j_lock;
+    while Atomic.get j.j_remaining > 0 do
+      match j.j_parked with
       | [] ->
-          if Atomic.get next < n then begin
+          if Atomic.get j.j_next land index_mask < n then begin
             (* Participants died before claiming everything: the
                supervisor finishes the sweep itself. *)
-            Mutex.unlock done_lock;
-            drain_unclaimed ();
-            Mutex.lock done_lock
+            Mutex.unlock j.j_lock;
+            drain_unclaimed p;
+            Mutex.lock j.j_lock
           end
-          else Condition.wait all_done done_lock
+          else Condition.wait j.j_done j.j_lock
       | is ->
-          parked := [];
-          Mutex.unlock done_lock;
+          j.j_parked <- [];
+          Mutex.unlock j.j_lock;
+          let counter = p.task_counters.(Domain.DLS.get slot_key) in
           List.iter
             (fun i ->
               Metrics.incr m_retried;
-              process i)
+              j.j_run i;
+              Metrics.incr counter)
             (List.rev is);
-          Mutex.lock done_lock
+          Mutex.lock j.j_lock
     done;
-    Mutex.unlock done_lock;
+    Mutex.unlock j.j_lock;
     Array.map
       (function
         | Some (Ok v) -> v

@@ -39,9 +39,7 @@ let observe cpu threat run =
   match threat.mode with
   | Prime_probe ->
       let acc = ref Htrace.empty in
-      for set = 0 to Cache.sets cache - 1 do
-        if Cache.probe cache set then acc := Htrace.add set !acc
-      done;
+      Cache.probe_evicted cache (fun set -> acc := Htrace.add set !acc);
       !acc
   | Flush_reload | Evict_reload ->
       let acc = ref Htrace.empty in

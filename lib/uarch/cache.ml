@@ -10,6 +10,17 @@ type t = {
      this loop runs ~1k times per Prime+Probe observation. *)
   lines : int array array;
   lru : int array array;
+  (* Dirty-set tracking for Prime+Probe: once a full {!prime} has put
+     every set into its canonical primed state ([primed]), only the sets
+     mutated since then (recorded in [dirty.(0..n_dirty-1)], deduplicated
+     by [dirty_mark]) can deviate from it. Re-priming and probing then
+     visit just those sets instead of the whole cache — the bracketing
+     prime/probe pair around every single hardware run is the executor's
+     hottest loop, and a short test program touches a handful of sets. *)
+  dirty : int array;
+  dirty_mark : Bytes.t;
+  mutable n_dirty : int;
+  mutable primed : bool;
 }
 
 let empty_tag = min_int
@@ -21,9 +32,24 @@ let create ?(sets = Layout.l1d_sets) ?(ways = Layout.l1d_ways) () =
     ways;
     lines = Array.init sets (fun _ -> Array.make ways empty_tag);
     lru = Array.init sets (fun _ -> Array.init ways (fun w -> w));
+    dirty = Array.make sets 0;
+    dirty_mark = Bytes.make sets '\000';
+    n_dirty = 0;
+    primed = false;
   }
 
 let sets t = t.n_sets
+
+(* Record that [set] may now deviate from the canonical primed state.
+   Only meaningful (and only paid for) inside a primed window; outside
+   one, [primed = false] forces the next prime/probe to do a full pass
+   anyway. *)
+let[@inline] mark_dirty t set =
+  if t.primed && Bytes.unsafe_get t.dirty_mark set = '\000' then begin
+    Bytes.unsafe_set t.dirty_mark set '\001';
+    t.dirty.(t.n_dirty) <- set;
+    t.n_dirty <- t.n_dirty + 1
+  end
 
 let line_of_addr addr = Int64.to_int addr / Layout.cache_line
 
@@ -53,6 +79,7 @@ let victim_way t set =
   !worst
 
 let touch_tag t set tag =
+  mark_dirty t set;
   match find_way t set tag with
   | -1 ->
       let w = victim_way t set in
@@ -74,10 +101,16 @@ let flush_line t addr =
   let set = set_of_addr t addr in
   match find_way t set (line_of_addr addr) with
   | -1 -> ()
-  | w -> t.lines.(set).(w) <- empty_tag
+  | w ->
+      mark_dirty t set;
+      t.lines.(set).(w) <- empty_tag
 
 let flush_all t =
-  Array.iter (fun set -> Array.fill set 0 t.ways empty_tag) t.lines
+  Array.iter (fun set -> Array.fill set 0 t.ways empty_tag) t.lines;
+  (* No set is canonical any more; the next prime does a full pass. *)
+  t.primed <- false;
+  Bytes.fill t.dirty_mark 0 t.n_sets '\000';
+  t.n_dirty <- 0
 
 (* Priming touches attacker tags 0..ways-1 in order. Whatever the prior
    contents, the set ends up holding exactly the attacker tags with tag w
@@ -95,15 +128,29 @@ let prime_set t set =
   done
 
 let prime t =
-  for set = 0 to t.n_sets - 1 do
-    prime_set t set
-  done
+  if t.primed then begin
+    (* Everything outside the dirty list is already canonical. *)
+    for k = 0 to t.n_dirty - 1 do
+      let set = t.dirty.(k) in
+      Bytes.unsafe_set t.dirty_mark set '\000';
+      prime_set t set
+    done;
+    t.n_dirty <- 0
+  end
+  else begin
+    for set = 0 to t.n_sets - 1 do
+      prime_set t set
+    done;
+    Bytes.fill t.dirty_mark 0 t.n_sets '\000';
+    t.n_dirty <- 0;
+    t.primed <- true
+  end
 
 (* The probe pass re-touches every attacker tag; at least one misses iff
    some way no longer holds an attacker line (a victim access evicted it).
    Equivalent single scan, followed by the canonical re-prime the real
    probe loop leaves behind. *)
-let probe t set =
+let probe_set t set =
   let lines = t.lines.(set) in
   let evicted = ref false in
   for w = 0 to t.ways - 1 do
@@ -115,9 +162,30 @@ let probe t set =
   prime_set t set;
   !evicted
 
+let probe = probe_set
+
+let probe_evicted t f =
+  if t.primed then begin
+    (* Only dirty sets can deviate from the canonical primed state, so
+       the full-cache probe reduces to probing those; re-priming them
+       restores the invariant. *)
+    for k = 0 to t.n_dirty - 1 do
+      let set = t.dirty.(k) in
+      Bytes.unsafe_set t.dirty_mark set '\000';
+      if probe_set t set then f set
+    done;
+    t.n_dirty <- 0
+  end
+  else
+    for set = 0 to t.n_sets - 1 do
+      if probe_set t set then f set
+    done
+
 let copy t =
   {
     t with
     lines = Array.map Array.copy t.lines;
     lru = Array.map Array.copy t.lru;
+    dirty = Array.copy t.dirty;
+    dirty_mark = Bytes.copy t.dirty_mark;
   }

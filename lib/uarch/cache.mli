@@ -34,4 +34,13 @@ val probe : t -> int -> bool
     the set since the last {!prime} (Probe phase). Probing re-primes the
     inspected set, as the real attack's probe loop does. *)
 
+val probe_evicted : t -> (int -> unit) -> unit
+(** Probe phase over the whole cache: calls the callback once for every
+    set from which at least one attacker line was evicted since the last
+    {!prime}, and re-primes every such set. Equivalent to {!probe} on
+    each set in turn, but after a full prime only the sets actually
+    touched since are physically inspected (the rest are still in their
+    canonical primed state and would probe [false]). Callback order is
+    unspecified. *)
+
 val copy : t -> t

@@ -24,6 +24,12 @@ type pending_store = {
   ps_assist : bool;
 }
 
+type timing = {
+  mutable fetch_pos : int;
+  reg_ready : int array;
+  mutable flags_ready : int;
+}
+
 type t = {
   cfg : Uarch_config.t;
   cache : Cache.t;
@@ -34,6 +40,14 @@ type t = {
   mutable fill_buffer : int64;
   mutable events : event list;
   port_counts : int array;  (** µops issued per execution port, per run *)
+  (* Preallocated per-run scratch, reset in place: the executor runs the
+     same program thousands of times per test case (warm-up, repetitions,
+     swap checks), so none of this may allocate per run — let alone per
+     instruction. *)
+  tm : timing;
+  ab : Compiled.abuf;  (* access buffer shared by all raw actions *)
+  saved_regs : int array;  (* reg_ready rollback for transient episodes *)
+  saved_arch : int64 array;  (* architectural-register rollback buffer *)
 }
 
 let create cfg =
@@ -47,6 +61,10 @@ let create cfg =
     fill_buffer = 0L;
     events = [];
     port_counts = Array.make Ports.n_ports 0;
+    tm = { fetch_pos = 0; reg_ready = Array.make 16 0; flags_ready = 0 };
+    ab = Compiled.abuf_create ();
+    saved_regs = Array.make 16 0;
+    saved_arch = Array.make 16 0L;
   }
 
 let config t = t.cfg
@@ -91,12 +109,6 @@ let pp_event fmt e =
 (* Timing                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type timing = {
-  mutable fetch_pos : int;
-  reg_ready : int array;
-  mutable flags_ready : int;
-}
-
 let fetch_time t tm = tm.fetch_pos / t.cfg.Uarch_config.fetch_width
 
 let src_ready tm (d : Compiled.desc) =
@@ -139,7 +151,18 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
   Array.fill t.port_counts 0 Ports.n_ports 0;
   let code_len = Compiled.length prog in
   let descs = prog.Compiled.descs in
-  let tm = { fetch_pos = 0; reg_ready = Array.make 16 0; flags_ready = 0 } in
+  let raws = prog.Compiled.raws in
+  let ab = t.ab in
+  (* One raw step of the instruction at [spc]: architectural effects on
+     the state, memory accesses into the shared buffer. *)
+  let exec spc =
+    Compiled.abuf_clear ab;
+    raws.(spc) state ab
+  in
+  let tm = t.tm in
+  tm.fetch_pos <- 0;
+  Array.fill tm.reg_ready 0 16 0;
+  tm.flags_ready <- 0;
   let pending : pending_store list ref = ref [] in
   let steps = ref 0 in
 
@@ -151,8 +174,16 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
      one memory location first (stale-value forwarding). *)
   let run_transient ~kind ~origin_pc ~start_pc ~squash_time ~poison =
     if start_pc >= 0 && start_pc <= code_len then begin
-      let snap = State.snapshot state in
-      let saved_regs = Array.copy tm.reg_ready in
+      (* Episode rollback buffers are reused across episodes and runs;
+         episodes never nest, so one of each suffices. Architectural
+         rollback is a register blit plus a store-undo journal — a
+         transient window executes a handful of stores, so undoing them
+         in reverse beats snapshotting the whole sandbox out and back. *)
+      Array.blit state.State.regs 0 t.saved_arch 0 16;
+      let saved_aflags = state.State.flags in
+      let saved_pc = state.State.pc in
+      let mark = Memory.journal_begin state.State.mem in
+      Array.blit tm.reg_ready 0 t.saved_regs 0 16;
       let saved_flags = tm.flags_ready in
       let saved_fetch = tm.fetch_pos in
       let saved_fill = t.fill_buffer in
@@ -167,36 +198,37 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
          while state.State.pc < code_len && !budget > 0 do
            let ft = fetch_time t tm in
            if ft >= squash_time then raise Exit;
-           let d = descs.(state.State.pc) in
+           let spc = state.State.pc in
+           let d = descs.(spc) in
            if d.Compiled.d_serializing then raise Exit;
            tm.fetch_pos <- tm.fetch_pos + 1;
            decr budget;
            let start = max ft (src_ready tm d) in
            if start < squash_time then count_ports t d;
            let lat = exec_latency t state d in
-           let outcome = Compiled.step prog state in
+           exec spc;
            let mem_lat = ref 0 in
-           List.iter
-             (fun (a : Semantics.access) ->
-               if start < squash_time then begin
-                 let hit = Cache.contains t.cache a.Semantics.addr in
-                 let is_store = a.Semantics.kind = `Store in
-                 let observable =
-                   (not is_store) || t.cfg.Uarch_config.speculative_store_eviction
-                 in
-                 if observable then begin
-                   ignore (Cache.touch t.cache a.Semantics.addr);
-                   touched := Cache.set_of_addr t.cache a.Semantics.addr :: !touched;
-                   t.fill_buffer <- a.Semantics.value
-                 end;
-                 incr loads;
-                 if not is_store then
-                   mem_lat := max !mem_lat (Uarch_config.mem_latency t.cfg ~hit)
-               end
-               else
-                 (* the access never issued: dependents stay unready *)
-                 mem_lat := max !mem_lat (squash_time - start + 1))
-             outcome.Semantics.accesses;
+           for k = 0 to ab.Compiled.ab_len - 1 do
+             let addr = ab.Compiled.ab_addr.(k) in
+             if start < squash_time then begin
+               let hit = Cache.contains t.cache addr in
+               let is_store = ab.Compiled.ab_store.(k) in
+               let observable =
+                 (not is_store) || t.cfg.Uarch_config.speculative_store_eviction
+               in
+               if observable then begin
+                 ignore (Cache.touch t.cache addr);
+                 touched := Cache.set_of_addr t.cache addr :: !touched;
+                 t.fill_buffer <- ab.Compiled.ab_value.(k)
+               end;
+               incr loads;
+               if not is_store then
+                 mem_lat := max !mem_lat (Uarch_config.mem_latency t.cfg ~hit)
+             end
+             else
+               (* the access never issued: dependents stay unready *)
+               mem_lat := max !mem_lat (squash_time - start + 1)
+           done;
            let completion = start + lat + !mem_lat in
            let dsts = d.Compiled.d_dsts in
            for k = 0 to Array.length dsts - 1 do
@@ -207,8 +239,12 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
        with
       | Exit -> ()
       | Semantics.Division_fault | Memory.Fault _ -> ());
-      State.restore state snap;
-      Array.blit saved_regs 0 tm.reg_ready 0 16;
+      Memory.journal_rollback state.State.mem ~mark;
+      Memory.journal_end state.State.mem;
+      Array.blit t.saved_arch 0 state.State.regs 0 16;
+      state.State.flags <- saved_aflags;
+      state.State.pc <- saved_pc;
+      Array.blit t.saved_regs 0 tm.reg_ready 0 16;
       tm.flags_ready <- saved_flags;
       tm.fetch_pos <- saved_fetch;
       t.fill_buffer <- saved_fill;
@@ -242,48 +278,54 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
     else begin
       let start = max ft (src_ready tm d) in
       count_ports t d;
-      pending := List.filter (fun ps -> ps.ps_ready > ft) !pending;
-      let mem_info =
-        match d.Compiled.d_mem with
-        | Some mr ->
-            Some
-              ( mr.Compiled.mr_addr state,
-                mr.Compiled.mr_width,
-                addr_regs_ready t tm mr )
-        | None -> None
+      (match !pending with
+      | [] -> ()
+      | _ -> pending := List.filter (fun ps -> ps.ps_ready > ft) !pending);
+      (* Memory-operand resolution, flattened from the previous
+         per-instruction [Some (addr, width, ready)] tuple into plain
+         locals ([d_mem] carries the shape; [mem_addr]/[mem_ready] are
+         only meaningful when it is [Some]). *)
+      let mem = d.Compiled.d_mem in
+      let mem_addr =
+        match mem with Some mr -> mr.Compiled.mr_addr state | None -> 0L
+      in
+      let mem_ready =
+        match mem with Some mr -> addr_regs_ready t tm mr | None -> 0
       in
       (* Microcode assist: first access to a page with a cleared Accessed
          bit. Loads transiently forward stale fill-buffer data (MDS) or
          zeros (MDS patch); stores resolve late and may be bypassed below
          (the LVI-class forwarding failure). *)
       let assist_fired =
-        match mem_info with
-        | Some (addr, _, _) when Layout.in_sandbox addr ->
-            let page = Layout.page_of_offset (Layout.offset_of_addr addr) in
+        match mem with
+        | Some _ when Layout.in_sandbox mem_addr ->
+            let page = Layout.page_of_offset (Layout.offset_of_addr mem_addr) in
             Page_table.access t.pages ~page
         | Some _ | None -> false
       in
       let assist_resolve = start + t.cfg.Uarch_config.lat.Uarch_config.assist in
       (if assist_fired && d.Compiled.d_loads then
-         match mem_info with
-         | Some (addr, w, _) ->
+         match mem with
+         | Some mr ->
              let tv = if t.cfg.Uarch_config.mds_patch then 0L else t.fill_buffer in
              (* The assist forwards the bogus value quickly — dependents of
                 the poisoned load must not stall on a cache miss. *)
-             ignore (Cache.touch t.cache addr);
+             ignore (Cache.touch t.cache mem_addr);
              run_transient ~kind:Assist_load_forward ~origin_pc:pc ~start_pc:pc
-               ~squash_time:assist_resolve ~poison:(Some (addr, w, tv))
+               ~squash_time:assist_resolve
+               ~poison:(Some (mem_addr, mr.Compiled.mr_width, tv))
          | None -> ());
       (* Speculative store bypass: a load issuing before an older store's
          address has resolved transiently reads the stale memory value. *)
       (if d.Compiled.d_loads then
-         match mem_info with
-         | Some (addr, w, _) ->
+         match mem with
+         | Some mr ->
              let candidate =
                List.find_opt
                  (fun ps ->
                    ps.ps_ready > start
-                   && overlaps addr w ps.ps_addr ps.ps_width
+                   && overlaps mem_addr mr.Compiled.mr_width ps.ps_addr
+                        ps.ps_width
                    &&
                    if ps.ps_assist then t.cfg.Uarch_config.assist_forwarding_leak
                    else not t.cfg.Uarch_config.v4_patch)
@@ -300,22 +342,25 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
              | None -> ())
          | None -> ());
       (* Record the pre-store value for the store buffer. *)
+      let store_pending =
+        d.Compiled.d_stores
+        && match mem with Some _ -> true | None -> false
+      in
       let store_old =
-        if d.Compiled.d_stores then
-          match mem_info with
-          | Some (addr, w, ar) ->
-              Some (addr, w, Memory.read state.State.mem ~addr w, ar)
-          | None -> None
-        else None
+        if store_pending then
+          match mem with
+          | Some mr -> Memory.read state.State.mem ~addr:mem_addr mr.Compiled.mr_width
+          | None -> 0L
+        else 0L
       in
       let lat = exec_latency t state d in
-      let hit_for_load =
-        match mem_info with
-        | Some (addr, _, _) when d.Compiled.d_loads ->
-            Some (Cache.contains t.cache addr)
-        | Some _ | None -> None
+      let load_hit_known =
+        d.Compiled.d_loads
+        && match mem with Some _ -> true | None -> false
       in
-      (* Branch-prediction bookkeeping around the architectural step. *)
+      let load_hit = load_hit_known && Cache.contains t.cache mem_addr in
+      (* Branch-prediction bookkeeping around the architectural step (the
+         pc after [exec] is the architectural branch target). *)
       (match d.Compiled.d_inst.Instruction.opcode with
       | Opcode.Jcc c ->
           let actual = Flags.eval_cond state.State.flags c in
@@ -323,8 +368,7 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
           let resolve =
             max ft tm.flags_ready + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
           in
-          let outcome = Compiled.step prog state in
-          ignore outcome;
+          exec pc;
           if predicted <> actual then begin
             let wrong_pc = if actual then pc + 1 else Compiled.target prog pc in
             run_transient ~kind:Branch_mispredict ~origin_pc:pc ~start_pc:wrong_pc
@@ -335,41 +379,43 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
           let predicted = Predictors.Rsb.pop t.rsb in
           let rsp = State.get_reg state Reg.stack_pointer Width.W64 in
           let stack_hit = Cache.contains t.cache rsp in
-          let outcome = Compiled.step prog state in
+          exec pc;
+          let next = state.State.pc in
           let resolve =
             start + Uarch_config.mem_latency t.cfg ~hit:stack_hit
             + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
           in
           (match predicted with
-          | Some p when p <> outcome.Semantics.next ->
+          | Some p when p <> next ->
               run_transient ~kind:Return_mispredict ~origin_pc:pc ~start_pc:p
                 ~squash_time:resolve ~poison:None
           | Some _ | None -> ())
       | Opcode.JmpInd ->
           let predicted = Predictors.Btb.predict t.btb ~pc in
-          let outcome = Compiled.step prog state in
+          exec pc;
+          let next = state.State.pc in
           let resolve =
             start + t.cfg.Uarch_config.lat.Uarch_config.branch_resolve
           in
           (match predicted with
-          | Some p when p <> outcome.Semantics.next ->
+          | Some p when p <> next ->
               run_transient ~kind:Indirect_mispredict ~origin_pc:pc ~start_pc:p
                 ~squash_time:resolve ~poison:None
           | Some _ | None -> ());
-          Predictors.Btb.update t.btb ~pc ~target:outcome.Semantics.next
+          Predictors.Btb.update t.btb ~pc ~target:next
       | Opcode.Call ->
-          let _ = Compiled.step prog state in
+          exec pc;
           Predictors.Rsb.push t.rsb (pc + 1)
-      | _ -> ignore (Compiled.step prog state));
+      | _ -> exec pc);
       (* Committed memory effects: cache fills and fill-buffer updates. *)
       let mem_lat = ref 0 in
-      (match (mem_info, hit_for_load) with
-      | Some _, Some hit -> mem_lat := Uarch_config.mem_latency t.cfg ~hit
-      | _ -> ());
-      (match mem_info with
-      | Some (addr, w, _) ->
-          ignore (Cache.touch t.cache addr);
-          t.fill_buffer <- Memory.read state.State.mem ~addr w
+      if load_hit_known then
+        mem_lat := Uarch_config.mem_latency t.cfg ~hit:load_hit;
+      (match mem with
+      | Some mr ->
+          ignore (Cache.touch t.cache mem_addr);
+          t.fill_buffer <-
+            Memory.read state.State.mem ~addr:mem_addr mr.Compiled.mr_width
       | None -> ());
       (* Implicit stack accesses of CALL/RET also fill the cache. *)
       (match d.Compiled.d_inst.Instruction.opcode with
@@ -378,18 +424,25 @@ let run ?(max_steps = 20000) t prog (state : State.t) =
           ignore (Cache.touch t.cache rsp)
       | _ -> ());
       (* Register the store in the store buffer for bypass detection. *)
-      (match store_old with
-      | Some (addr, w, old, ar) ->
-          let ready =
-            if assist_fired && not d.Compiled.d_loads then
-              max ar assist_resolve
-            else ar
-          in
-          let ps_assist = assist_fired && not d.Compiled.d_loads in
-          pending :=
-            { ps_addr = addr; ps_width = w; ps_old = old; ps_ready = ready; ps_assist }
-            :: !pending
-      | None -> ());
+      (if store_pending then
+         match mem with
+         | Some mr ->
+             let ready =
+               if assist_fired && not d.Compiled.d_loads then
+                 max mem_ready assist_resolve
+               else mem_ready
+             in
+             let ps_assist = assist_fired && not d.Compiled.d_loads in
+             pending :=
+               {
+                 ps_addr = mem_addr;
+                 ps_width = mr.Compiled.mr_width;
+                 ps_old = store_old;
+                 ps_ready = ready;
+                 ps_assist;
+               }
+               :: !pending
+         | None -> ());
       let completion = start + lat + !mem_lat + (if assist_fired then t.cfg.Uarch_config.lat.Uarch_config.assist else 0) in
       let dsts = d.Compiled.d_dsts in
       for k = 0 to Array.length dsts - 1 do

@@ -213,6 +213,153 @@ let executor_identical () =
         (Executor.swap_check exec_i interp inputs 0 1)
         (Executor.swap_check exec_c compiled inputs 0 1))
 
+(* --- batched model ----------------------------------------------------- *)
+
+let batch_inputs n seed =
+  Input.generate_many (Prng.create ~seed) ~entropy:2 ~n
+
+(* [Model.batch] — superinstruction fusion, dead-flag elision and arena
+   scratch states — against per-input [Model.run]: same ctraces, faults
+   and streams for every contract, engine, template source and stream
+   mode. *)
+let batch_identical () =
+  each_case (fun ~label ~flat:_ ~compiled ~interp ->
+      let inputs = batch_inputs 12 7L in
+      List.iter
+        (fun contract ->
+          let cname = Contract.name contract in
+          let seq = List.map (Model.run contract compiled) inputs in
+          let check_one ~what ~stream_mode i (b : Model.result)
+              (r : Model.result) =
+            let here s =
+              Printf.sprintf "%s %s %s input %d: %s" label cname what i s
+            in
+            check bool (here "ctrace") true
+              (Ctrace.equal b.Model.ctrace r.Model.ctrace);
+            check bool (here "faulted") r.Model.faulted b.Model.faulted;
+            match stream_mode with
+            | `All ->
+                check bool (here "stream") true
+                  (Stdlib.compare b.Model.stream r.Model.stream = 0)
+            | `First ->
+                if i = 0 then
+                  check bool (here "stream") true
+                    (Stdlib.compare b.Model.stream r.Model.stream = 0)
+                else
+                  check int (here "stream empty") 0 (List.length b.Model.stream)
+          in
+          let compare_all ~what ~stream_mode batched =
+            List.iteri
+              (fun i (b, r) -> check_one ~what ~stream_mode i b r)
+              (List.combine batched seq)
+          in
+          compare_all ~what:"batch/all" ~stream_mode:`All
+            (Model.batch contract compiled inputs);
+          compare_all ~what:"batch/first" ~stream_mode:`First
+            (Model.batch ~stream:`First contract compiled inputs);
+          (* the reference interpreter through the same batched walk *)
+          compare_all ~what:"batch/interp" ~stream_mode:`All
+            (Model.batch contract interp inputs);
+          (* arena-pooled templates instead of per-input derivation *)
+          let arena = Arena.create () in
+          compare_all ~what:"batch/arena" ~stream_mode:`All
+            (Model.batch contract compiled
+               ~templates:(Arena.templates arena inputs)
+               inputs))
+        contracts)
+
+(* The batched walk fanned over a model pool: results identical to the
+   sequential batch for every pool size. *)
+let batch_pool_identical () =
+  each_case (fun ~label ~flat:_ ~compiled ~interp:_ ->
+      let inputs = batch_inputs 12 7L in
+      List.iter
+        (fun contract ->
+          let seq = Model.batch contract compiled inputs in
+          List.iter
+            (fun size ->
+              let pool = Pool.create size in
+              Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+              let par = Model.batch ~pool contract compiled inputs in
+              List.iteri
+                (fun i ((b : Model.result), (r : Model.result)) ->
+                  let here s =
+                    Printf.sprintf "%s %s pool=%d input %d: %s" label
+                      (Contract.name contract) size i s
+                  in
+                  check bool (here "ctrace") true
+                    (Ctrace.equal b.Model.ctrace r.Model.ctrace);
+                  check bool (here "faulted") r.Model.faulted b.Model.faulted;
+                  check bool (here "stream") true
+                    (Stdlib.compare b.Model.stream r.Model.stream = 0))
+                (List.combine par seq))
+            [ 1; 2; 4 ])
+        [ Contract.ct_seq; Contract.ct_cond; Contract.ct_bpas ])
+
+(* --- arena template pool ----------------------------------------------- *)
+
+(* Refilled pooled templates vs freshly allocated ones, across input sets
+   that shrink and grow to exercise pool reuse and growth. *)
+let arena_reuse_identical () =
+  let arena = Arena.create () in
+  List.iteri
+    (fun i n ->
+      let seed = Int64.of_int (i + 1) in
+      let inputs = batch_inputs n seed in
+      let fresh = Input.templates inputs in
+      let pooled = Arena.templates arena inputs in
+      check int (Printf.sprintf "round %d: count" i) (Array.length fresh)
+        (Array.length pooled);
+      Array.iteri
+        (fun idx t ->
+          check bool
+            (Printf.sprintf "round %d template %d" i idx)
+            true
+            (State.equal_arch t pooled.(idx)))
+        fresh)
+    [ 10; 4; 12; 3; 16 ]
+
+(* --- executor measurement-buffer reuse --------------------------------- *)
+
+(* One executor measuring input sets that shrink and grow must agree with
+   a fresh executor per call: the cached count matrix and event
+   accumulator are reset in place. *)
+let executor_reuse_identical () =
+  let g = Gadgets.spectre_v1 in
+  let flat = Program.flatten_exn g.Gadgets.program in
+  let prog = Compiled.of_flat flat in
+  let cfg = Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target5 in
+  let fresh_measure inputs =
+    let cpu = Cpu.create cfg.Fuzzer.uarch in
+    let executor = Executor.create cpu cfg.Fuzzer.executor in
+    Executor.measure executor prog inputs
+  in
+  let cpu = Cpu.create cfg.Fuzzer.uarch in
+  let reused = Executor.create cpu cfg.Fuzzer.executor in
+  List.iteri
+    (fun i n ->
+      let inputs = batch_inputs n (Int64.of_int ((2 * i) + 3)) in
+      let a = fresh_measure inputs in
+      let b = Executor.measure reused prog inputs in
+      check int (Printf.sprintf "round %d: count" i) (Array.length a)
+        (Array.length b);
+      Array.iteri
+        (fun idx (m : Executor.measurement) ->
+          let m' = a.(idx) in
+          check bool
+            (Printf.sprintf "round %d input %d: htrace" i idx)
+            true
+            (Htrace.equal m.Executor.htrace m'.Executor.htrace);
+          check bool
+            (Printf.sprintf "round %d input %d: kinds+events" i idx)
+            true
+            (Stdlib.compare
+               (m.Executor.kinds, m.Executor.events)
+               (m'.Executor.kinds, m'.Executor.events)
+            = 0))
+        b)
+    [ 20; 7; 31; 20 ]
+
 (* --- whole fuzzer ------------------------------------------------------ *)
 
 let outcome_fingerprint = function
@@ -290,6 +437,13 @@ let () =
           tc "bare emulation is bit-identical" `Quick emulation_identical;
           tc "contract model is bit-identical" `Quick model_identical;
           tc "CPU simulator is bit-identical" `Quick cpu_identical;
+          tc "batched model equals per-input runs" `Quick batch_identical;
+          tc "batched model equals sequential across pool sizes" `Quick
+            batch_pool_identical;
+          tc "arena templates equal fresh templates" `Quick
+            arena_reuse_identical;
+          tc "executor buffer reuse is bit-identical" `Quick
+            executor_reuse_identical;
           tc "executor measurements are bit-identical" `Quick
             executor_identical;
           tc "fuzzer outcomes and stats are bit-identical" `Slow
