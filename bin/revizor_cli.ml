@@ -212,8 +212,8 @@ let write_metrics_json path ~elapsed ~(stats : Fuzzer.stats option) =
   Revizor_obs.Atomic_file.write path (Json.to_string_pretty doc ^ "\n")
 
 let do_fuzz contract target seed budget inputs minimize save_dir jobs
-    metrics_out trace_out progress checkpoint checkpoint_every resume
-    watchdog_steps watchdog_ms fault_inject fault_seed =
+    executor_domains pipeline_depth metrics_out trace_out progress checkpoint
+    checkpoint_every resume watchdog_steps watchdog_ms fault_inject fault_seed =
   (* Flag validation up front, before anything touches the terminal or
      the filesystem. *)
   let usage_error msg =
@@ -250,6 +250,8 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
   let cfg =
     {
       cfg with
+      Fuzzer.executor_domains = max 1 executor_domains;
+      pipeline_depth = max 0 pipeline_depth;
       Fuzzer.watchdog =
         {
           Watchdog.max_model_steps =
@@ -383,6 +385,30 @@ let fuzz_cmd =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Run N parallel fuzzing campaigns on separate domains.")
   in
+  let executor_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "executor-domains" ] ~docv:"N"
+          ~doc:
+            "Size of the whole-pipeline domain pool: generate+compile stay \
+             on the main domain while N domains run the \
+             materialize/model/execute/analyze stages of different test \
+             cases concurrently. Results, statistics and checkpoints are \
+             bit-identical for every N (noise and fault-injection draws \
+             are keyed per test case), so checkpoints written under any \
+             value resume under any other. Unlike $(b,-j), this \
+             parallelizes a single campaign.")
+  in
+  let pipeline_depth =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline-depth" ] ~docv:"N"
+          ~doc:
+            "Extra test cases generated ahead of the executor pool (with \
+             $(b,--executor-domains) > 1): overlaps test-case N+1's \
+             generate+compile with test-case N's execution. 0 disables \
+             the overlap. No effect on results.")
+  in
   let metrics_out =
     Arg.(
       value
@@ -474,9 +500,10 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
     Term.(
       const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
-      $ inputs_arg $ minimize $ save_dir $ jobs $ metrics_out $ trace_out
-      $ progress $ checkpoint $ checkpoint_every $ resume $ watchdog_steps
-      $ watchdog_ms $ fault_inject $ fault_seed)
+      $ inputs_arg $ minimize $ save_dir $ jobs $ executor_domains
+      $ pipeline_depth $ metrics_out $ trace_out $ progress $ checkpoint
+      $ checkpoint_every $ resume $ watchdog_steps $ watchdog_ms
+      $ fault_inject $ fault_seed)
 
 (* --- check: re-verify a saved counterexample -------------------------- *)
 

@@ -102,19 +102,65 @@ let uniform h =
   (* 53 high bits -> [0,1) *)
   Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.
 
-(* The k-th hit's draw: hash(seed, name, k). *)
-let draw p k =
-  splitmix64 (Int64.logxor (Int64.add !seed_ref (Int64.of_int k)) (name_salt p.name))
+(* Per-domain schedule context. Without one (the pre-PR7 behavior, and
+   still the behavior of every standalone tool), a point's hit index is
+   its process-global atomic counter — fine sequentially, but dependent
+   on domain interleaving once test cases run concurrently. The fuzz
+   loop therefore scopes each test case with [set_context ~salt]: the
+   hit index becomes local to (context, point) and the salt — derived
+   from (campaign fault seed, test case number) — is mixed into the
+   draw, so a test case's fault schedule is a pure function of the fault
+   seed and its own number, identical for any executor domain count.
+   Stored in domain-local storage so concurrent domains, each fuzzing
+   its own test case, never share a context. *)
+type ctx = { c_salt : int64; c_hits : (string, int ref) Hashtbl.t }
+
+let ctx_key : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_context ~salt =
+  Domain.DLS.get ctx_key
+  := Some { c_salt = splitmix64 salt; c_hits = Hashtbl.create 8 }
+
+let clear_context () = Domain.DLS.get ctx_key := None
+
+(* The k-th hit's draw: hash(seed [, context salt], name, k). With no
+   context the salt is zero and the expression reduces bit-for-bit to
+   the historical hash(seed, name, k). *)
+let draw p ~salt k =
+  splitmix64
+    (Int64.logxor
+       (Int64.logxor (Int64.add !seed_ref (Int64.of_int k)) salt)
+       (name_salt p.name))
 
 let decide p =
   match Atomic.get p.armed with
   | None -> None
   | Some cfg ->
-      let k = Atomic.fetch_and_add p.hits 1 in
+      let salt, k =
+        match !(Domain.DLS.get ctx_key) with
+        | None -> (0L, Atomic.fetch_and_add p.hits 1)
+        | Some c ->
+            (* Global counter still advances so [hits]/[fired] reporting
+               stays meaningful; the schedule uses the context-local
+               index. *)
+            ignore (Atomic.fetch_and_add p.hits 1);
+            let r =
+              match Hashtbl.find_opt c.c_hits p.name with
+              | Some r -> r
+              | None ->
+                  let r = ref 0 in
+                  Hashtbl.replace c.c_hits p.name r;
+                  r
+            in
+            let k = !r in
+            incr r;
+            (c.c_salt, k)
+      in
       if k < cfg.after then None
       else if cfg.max_fires > 0 && Atomic.get p.fires >= cfg.max_fires then None
       else
-        let h = draw p k in
+        let h = draw p ~salt k in
         if uniform h < cfg.rate then begin
           Atomic.incr p.fires;
           Metrics.incr p.fired_total;

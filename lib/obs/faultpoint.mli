@@ -33,6 +33,21 @@ val enable : seed:int64 -> (string * cfg) list -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
+val set_context : salt:int64 -> unit
+(** Open a schedule context on the calling domain (domain-local). Until
+    {!clear_context}, every point's hit index is counted within this
+    context and [salt] is mixed into the draw, making the schedule a
+    pure function of (fault seed, salt, point name, context-local hit
+    index) — independent of what other domains or earlier contexts did.
+    The fuzz loop opens one context per test case, salted with the test
+    case number, so fault schedules are bit-identical for any executor
+    domain count. [cfg.after] then counts per context; [cfg.max_fires]
+    still caps fires globally (a cross-context property by design).
+    Without a context, scheduling is exactly the historical global-
+    counter behavior. *)
+
+val clear_context : unit -> unit
+
 val should_fire : point -> bool
 (** Count one hit; [true] if the schedule fires. *)
 

@@ -30,4 +30,12 @@ let with_span t f =
       record t start_ns;
       raise e
 
+(* Attribute an externally-measured duration to the stage (used for the
+   fuzz loop's inter-stage residual, which has no bracketing call site).
+   No telemetry span: the residual is derived, not observed. *)
+let add_ns t dur =
+  Metrics.add t.total_ns dur;
+  Metrics.incr t.calls;
+  Metrics.observe t.hist dur
+
 let time_ns t = Metrics.value t.total_ns

@@ -20,5 +20,11 @@ val with_span : t -> (unit -> 'a) -> 'a
     emit a telemetry span. The duration is recorded even if [f]
     raises. *)
 
+val add_ns : t -> int -> unit
+(** Attribute an externally-measured duration to the stage (counts one
+    call, feeds the histogram). For durations with no bracketing call
+    site — e.g. the fuzz loop's inter-stage residual — where
+    {!with_span} cannot be used. Emits no telemetry span. *)
+
 val time_ns : t -> int
 (** Cumulative nanoseconds recorded so far. *)

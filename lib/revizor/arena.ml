@@ -14,11 +14,26 @@ open Revizor_emu
    pool registers, the flag word and every data word. The remaining state
    (pc, non-pool registers, the guard/stack tail of the sandbox) keeps
    its [State.create] values forever, since templates are never executed
-   on. *)
+   on.
 
-type t = { mutable pool : State.t array; mutable view : State.t array }
+   With a sparse fill plan ([Input.fill_plan]) the invariant weakens to
+   "rewrites everything the test program can read": unlisted data words
+   keep a previous test case's values, which is observation-equivalent
+   because the plan proves they are unreachable — speculatively included
+   — for the program these templates will run.
 
-let create () = { pool = [||]; view = [||] }
+   [mids_dirty] tracks whether any pooled data word may hold nonzero
+   bytes 2..3. Fills only write those bytes nonzero at entropy > 10, and
+   a full fill at entropy ≤ 10 rewrites them all to zero; while clean,
+   fills skip the mid stores the way they already skip the high half. *)
+
+type t = {
+  mutable pool : State.t array;
+  mutable view : State.t array;
+  mutable mids_dirty : bool;
+}
+
+let create () = { pool = [||]; view = [||]; mids_dirty = false }
 
 let ensure t n =
   let cap = Array.length t.pool in
@@ -28,7 +43,7 @@ let ensure t n =
       Array.init ncap (fun i -> if i < cap then t.pool.(i) else State.create ())
   end
 
-let templates t inputs =
+let templates ?plan t inputs =
   let n = List.length inputs in
   ensure t n;
   (* The cached view aliases pool entries, so it survives pool growth
@@ -38,5 +53,16 @@ let templates t inputs =
      [State.create] memory and are only ever rewritten by this fill,
      which never stores a nonzero byte into the high half of a data
      word (input values sit in bits 6..21). *)
-  List.iteri (fun i input -> Input.apply ~data_hi_zero:true input t.pool.(i)) inputs;
+  let mid_zero = not t.mids_dirty in
+  List.iteri
+    (fun i input ->
+      Input.apply ~data_hi_zero:true ~data_mid_zero:mid_zero ?plan input
+        t.pool.(i))
+    inputs;
+  (match inputs with
+  | [] -> ()
+  | { Input.entropy; _ } :: _ ->
+      if entropy > 10 then t.mids_dirty <- true
+      else if plan = None then t.mids_dirty <- false
+      (* sparse fill at low entropy: unlisted words may stay dirty *));
   t.view

@@ -16,7 +16,12 @@ type t
 
 val create : unit -> t
 
-val templates : t -> Input.t list -> State.t array
+val templates : ?plan:int array -> t -> Input.t list -> State.t array
 (** Materialize the inputs into pooled template states. The returned
     array is owned by the arena and valid until the next [templates]
-    call; callers must not mutate the states. *)
+    call; callers must not mutate the states.
+
+    [plan] (from {!Input.fill_plan} for the program these templates will
+    run) restricts the data fill to the words that program can read;
+    unlisted words keep a previous test case's values, which the plan
+    proves unobservable. Omit it to fill the whole sandbox. *)

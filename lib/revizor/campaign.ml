@@ -20,10 +20,14 @@ let subset_names subsets =
   String.concat "+" (List.map Revizor_isa.Catalog.subset_to_string subsets)
 
 (* Canonical rendering of every config field that shapes the result
-   stream. [model_domains] is deliberately absent: pool scheduling is
-   deterministic-by-index, results are identical for every pool size
-   (asserted by the test suite), so a checkpoint taken with [-j 4] may be
-   resumed with [-j 1] on a smaller machine. *)
+   stream. [model_domains], [executor_domains] and [pipeline_depth] are
+   deliberately absent: pool scheduling is deterministic-by-index and the
+   pipelined loop commits in generation order with per-test-case keyed
+   noise/fault draws, so results are identical for every pool size and
+   overlap depth (asserted by the test suite) and a checkpoint taken with
+   [--executor-domains 4] may be resumed with [-j 1] on a smaller
+   machine. The noise seed, by contrast, is rendered: keyed draws make it
+   part of the deterministic result stream. *)
 let canonical (c : Fuzzer.config) =
   let e = c.Fuzzer.executor in
   let g = c.Fuzzer.gen_cfg in
@@ -39,7 +43,8 @@ let canonical (c : Fuzzer.config) =
     e.Executor.warmup_rounds e.Executor.measurement_reps e.Executor.outlier_min
     (match e.Executor.noise with
     | None -> "none"
-    | Some n -> Printf.sprintf "%g" n.Executor.flip_probability)
+    | Some n ->
+        Printf.sprintf "%g@0x%Lx" n.Executor.flip_probability n.Executor.seed)
     (match e.Executor.adaptive with
     | None -> "none"
     | Some a ->

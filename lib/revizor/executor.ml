@@ -13,6 +13,7 @@ let m_reps = Metrics.counter "executor.measurement_reps"
 let m_warmups = Metrics.counter "executor.warmup_rounds"
 let m_sequences = Metrics.counter "executor.sequences"
 let m_input_runs = Metrics.counter "executor.input_runs"
+let m_memo_hits = Metrics.counter "executor.memo_hits"
 let m_swap_measures = Metrics.counter "executor.swap_measurements"
 let m_noise_added = Metrics.counter "executor.noise.added"
 let m_noise_dropped = Metrics.counter "executor.noise.dropped"
@@ -26,7 +27,16 @@ let m_adaptive = Metrics.counter "executor.adaptive_escalations"
 let fp_measure = Faultpoint.point "executor.measure"
 let fp_storm = Faultpoint.point "executor.noise_storm"
 
-type noise = { flip_probability : float; rng : Prng.t }
+(* Keyed noise (DESIGN.md §6): instead of drawing from one sequential
+   PRNG — whose draw positions would couple every measurement to every
+   measurement before it — each perturbation decision is drawn from a
+   stream derived with splitmix64 from [seed] and the measurement's
+   coordinates (test case, measurement epoch within the test case,
+   sequence pass, input index). A draw is addressed, not consumed from a
+   shared sequence, so traces are bit-identical for any executor domain
+   count, any scheduling order, and independent of how many measurements
+   were skipped by memoization. *)
+type noise = { flip_probability : float; seed : int64 }
 
 (* Bounded adaptive retry (§5.3 spirit: the executor buys signal with
    repetitions): when the outlier filter is rejecting more than
@@ -59,6 +69,12 @@ let default_config ?(threat = Attack.prime_probe) () =
     reset_between_inputs = false;
   }
 
+(* Master switch for measurement memoization (below). Global because the
+   differential tests need to compare whole fuzzing campaigns — which
+   build their executors internally — with the optimization on and off. *)
+let memo_enabled = ref true
+let set_memo b = memo_enabled := b
+
 type t = {
   cpu : Cpu.t;
   cfg : config;
@@ -69,6 +85,36 @@ type t = {
      nothing per call. Row width is fixed by the config's threat mode. *)
   mutable counts : int array array;
   mutable ev_acc : (Cpu.speculation_kind * Htrace.t) list list array;
+  (* Measurement coordinates for keyed noise: the current test case, the
+     measurement epoch within it, and the sequence pass within the
+     current measurement. Set by the fuzz loop via [set_context]; a
+     standalone executor keeps tc 0, which is just as deterministic. *)
+  mutable ctx_tc : int;
+  mutable ctx_measure : int;
+  mutable ctx_seq : int;
+  (* Measurement memoization (sound replay of repeated runs): a run of
+     input slot [idx] can be skipped when (a) the same physical template
+     is in that slot, (b) the predictor mark now equals the mark before
+     the recorded run, and (c) the recorded run itself left the mark
+     unchanged — together these guarantee the run would start from
+     bit-identical microarchitectural state and reproduce the recorded
+     trace exactly (the cache, fill buffer and page bits are
+     re-established canonically before every real run; predictors are the
+     only cross-run carrier, see [Cpu.mark]). Only entries whose run did
+     NOT move the mark are ever saved, so a hit also needs no state
+     installation. Valid flags are cleared at every [measure] entry:
+     entries never survive into a different measurement (arena-pooled
+     states are refilled between test cases, swap checks permute the
+     template array). Restricted to Prime+Probe / Evict+Reload, whose
+     preparation canonicalizes the whole cache; Flush+Reload only evicts
+     the monitored lines and Port+Contention leaves the cache untouched,
+     so for those the cache does carry cross-run state. *)
+  memo_ok : bool;
+  mutable memo_valid : bool array;
+  mutable memo_tpl : Revizor_emu.State.t array;
+  mutable memo_mark : Cpu.mark array;
+  mutable memo_trace : Htrace.t array;
+  mutable memo_events : (Cpu.speculation_kind * Htrace.t) list array;
 }
 
 let create cpu cfg =
@@ -78,9 +124,27 @@ let create cpu cfg =
     scratch = Revizor_emu.State.create ();
     counts = [||];
     ev_acc = [||];
+    ctx_tc = 0;
+    ctx_measure = 0;
+    ctx_seq = 0;
+    memo_ok =
+      (match cfg.threat.Attack.mode with
+      | Attack.Prime_probe | Attack.Evict_reload -> true
+      | Attack.Flush_reload | Attack.Port_contention -> false)
+      && not cfg.reset_between_inputs;
+    memo_valid = [||];
+    memo_tpl = [||];
+    memo_mark = [||];
+    memo_trace = [||];
+    memo_events = [||];
   }
+
 let cpu t = t.cpu
 let config t = t.cfg
+
+let set_context t ~tc =
+  t.ctx_tc <- tc;
+  t.ctx_measure <- 0
 
 type measurement = {
   htrace : Htrace.t;
@@ -88,28 +152,37 @@ type measurement = {
   events : (Cpu.speculation_kind * Htrace.t) list;
 }
 
-let apply_noise cfg trace =
-  match cfg.noise with
+let apply_noise t ~idx trace =
+  match t.cfg.noise with
   | None -> trace
   | Some n ->
-      let domain = Attack.trace_domain cfg.threat.Attack.mode in
+      let rng =
+        Prng.derive n.seed
+          [
+            Int64.of_int t.ctx_tc;
+            Int64.of_int t.ctx_measure;
+            Int64.of_int t.ctx_seq;
+            Int64.of_int idx;
+          ]
+      in
+      let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
       let trace = ref trace in
       (* Possibly add one spurious observation... *)
-      if Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000. < n.flip_probability
+      if Float.of_int (Prng.int rng 1_000_000) /. 1_000_000. < n.flip_probability
       then begin
         Metrics.incr m_noise_added;
-        trace := Htrace.add (Prng.int n.rng domain) !trace
+        trace := Htrace.add (Prng.int rng domain) !trace
       end;
       (* ... and possibly drop one real one. *)
       if
         (not (Htrace.is_empty !trace))
-        && Float.of_int (Prng.int n.rng 1_000_000) /. 1_000_000.
+        && Float.of_int (Prng.int rng 1_000_000) /. 1_000_000.
            < n.flip_probability
       then begin
         Metrics.incr m_noise_dropped;
         (* k-th smallest element straight off the bitset: no element-list
            materialization, no O(n²) [List.nth] walk. *)
-        let victim = Htrace.nth !trace (Prng.int n.rng (Htrace.cardinal !trace)) in
+        let victim = Htrace.nth !trace (Prng.int rng (Htrace.cardinal !trace)) in
         trace := Htrace.diff !trace (Htrace.singleton victim)
       end;
       !trace
@@ -144,40 +217,73 @@ let last_data_word =
    state was materialized once into [templates]; every run blit-restores
    the template into the executor's scratch state instead of re-deriving
    the PRNG stream (a sequence runs many times: warm-up rounds,
-   measurement repetitions and swap-check re-measurements). *)
-let run_sequence ?(with_events = true) t flat
+   measurement repetitions and swap-check re-measurements).
+
+   When [memo] is on, a run whose preconditions provably match a recorded
+   run of the same slot is replayed from the memo instead of executed —
+   see the soundness argument on the memo fields above. The [record]
+   callback receives the RAW trace; perturbations (noise, storms) are the
+   caller's business, which keeps memoized and real runs on the same
+   path. Events are computed even for event-discarding passes on a memoed
+   miss, so a later hit can replay them. *)
+let run_sequence ?(with_events = true) ?(memo = false) t flat
     (templates : Revizor_emu.State.t array) ~record =
   Metrics.incr m_sequences;
-  Metrics.add m_input_runs (Array.length templates);
+  t.ctx_seq <- t.ctx_seq + 1;
+  let hits = ref 0 in
   Array.iteri
     (fun idx template ->
-      if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
-      Revizor_emu.State.copy_into template ~dst:t.scratch;
-      (* Loading the input into the sandbox moves the input's own data
-         through the memory system: the fill buffers hold it afterwards. *)
-      Cpu.set_fill_buffer t.cpu
-        (Revizor_emu.Memory.read template.Revizor_emu.State.mem
-           ~addr:last_data_word Revizor_isa.Width.W64);
-      let trace =
-        Attack.observe t.cpu t.cfg.threat (fun () ->
-            Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
-      in
-      let trace = apply_noise t.cfg trace in
-      let trace = apply_storm t.cfg trace in
-      let events =
-        (* keep every episode for mechanism labelling; episodes without
-           cache touches carry an empty set and are never selected by the
-           trace-difference attribution. Skipped for rounds whose record
-           callback discards them (warm-up). *)
-        if with_events then
-          List.map
-            (fun (e : Cpu.event) ->
-              (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
-            (Cpu.events t.cpu)
-        else []
-      in
-      record idx trace events)
-    templates
+      if
+        memo
+        && t.memo_valid.(idx)
+        && t.memo_tpl.(idx) == template
+        && Cpu.mark_matches t.cpu t.memo_mark.(idx)
+      then begin
+        incr hits;
+        record idx t.memo_trace.(idx) t.memo_events.(idx)
+      end
+      else begin
+        if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
+        Revizor_emu.State.copy_into template ~dst:t.scratch;
+        (* Loading the input into the sandbox moves the input's own data
+           through the memory system: the fill buffers hold it
+           afterwards. *)
+        Cpu.set_fill_buffer t.cpu
+          (Revizor_emu.Memory.read template.Revizor_emu.State.mem
+             ~addr:last_data_word Revizor_isa.Width.W64);
+        (* Cheap: two version ints plus the RSB list head. *)
+        let before = Cpu.mark t.cpu in
+        let trace =
+          Attack.observe t.cpu t.cfg.threat (fun () ->
+              Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
+        in
+        let events =
+          (* keep every episode for mechanism labelling; episodes without
+             cache touches carry an empty set and are never selected by
+             the trace-difference attribution. Skipped for rounds whose
+             record callback discards them (warm-up) — unless the memo
+             may need to replay them later. *)
+          if with_events || memo then
+            List.map
+              (fun (e : Cpu.event) ->
+                (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
+              (Cpu.events t.cpu)
+          else []
+        in
+        (if memo then
+           if Cpu.mark_matches t.cpu before then begin
+             t.memo_valid.(idx) <- true;
+             t.memo_tpl.(idx) <- template;
+             t.memo_mark.(idx) <- before;
+             t.memo_trace.(idx) <- trace;
+             t.memo_events.(idx) <- events
+           end
+           else t.memo_valid.(idx) <- false);
+        record idx trace events
+      end)
+    templates;
+  Metrics.add m_input_runs (Array.length templates - !hits);
+  if !hits > 0 then Metrics.add m_memo_hits !hits
 
 let templates_of inputs = function
   | Some tpl -> tpl
@@ -197,22 +303,38 @@ let ensure_buffers t ~n ~domain =
   for i = 0 to n - 1 do
     Array.fill t.counts.(i) 0 domain 0;
     t.ev_acc.(i) <- []
-  done
+  done;
+  if t.memo_ok then begin
+    if Array.length t.memo_valid < n then begin
+      let ncap = Array.length t.counts in
+      t.memo_valid <- Array.make ncap false;
+      t.memo_tpl <- Array.make ncap t.scratch;
+      t.memo_mark <- Array.make ncap (Cpu.mark t.cpu);
+      t.memo_trace <- Array.make ncap Htrace.empty;
+      t.memo_events <- Array.make ncap []
+    end;
+    (* No memo entry survives into a new measurement. *)
+    Array.fill t.memo_valid 0 (Array.length t.memo_valid) false
+  end
 
 let measure ?templates t flat inputs =
   Faultpoint.fire fp_measure;
+  t.ctx_measure <- t.ctx_measure + 1;
+  t.ctx_seq <- 0;
   let templates = templates_of inputs templates in
   let n = Array.length templates in
   Metrics.incr m_measures;
   Metrics.add m_warmups t.cfg.warmup_rounds;
   Cpu.reset_session t.cpu;
+  let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
+  ensure_buffers t ~n ~domain;
+  let memo = t.memo_ok && !memo_enabled in
   for _ = 1 to t.cfg.warmup_rounds do
-    run_sequence ~with_events:false t flat templates ~record:(fun _ _ _ -> ())
+    run_sequence ~with_events:false ~memo t flat templates
+      ~record:(fun _ _ _ -> ())
   done;
   (* Per-input occurrence counts over the (small, dense) trace domain: a
      flat increment per observation instead of an assoc-list rebuild. *)
-  let domain = Attack.trace_domain t.cfg.threat.Attack.mode in
-  ensure_buffers t ~n ~domain;
   let counts = t.counts in
   (* Per-rep event lists are consed and concatenated once at the end;
      appending with [@] here would rebuild the accumulated list on every
@@ -223,7 +345,12 @@ let measure ?templates t flat inputs =
   let run_reps k =
     Metrics.add m_reps k;
     for _ = 1 to k do
-      run_sequence t flat templates ~record:(fun idx trace evs ->
+      run_sequence ~memo t flat templates ~record:(fun idx trace evs ->
+          (* Perturbations apply to recorded repetitions only, after the
+             memo: a warm-up trace is discarded anyway, and keyed draws
+             don't need the historical draw order preserved. *)
+          let trace = apply_noise t ~idx trace in
+          let trace = apply_storm t.cfg trace in
           let row = counts.(idx) in
           Htrace.iter (fun o -> row.(o) <- row.(o) + 1) trace;
           events.(idx) <- evs :: events.(idx))
@@ -297,18 +424,16 @@ let htraces ?templates t flat inputs =
 let swap_check ?templates ?base t flat inputs a b =
   Metrics.incr m_swap_measures;
   let templates = templates_of inputs templates in
-  (* Without noise every measurement is a pure function of (templates,
-     session reset), so the unswapped baseline the caller has already
-     measured can be reused verbatim, and the second swapped measurement
-     can be skipped as soon as the first one refutes the artifact
-     hypothesis. With noise enabled neither shortcut is taken: each
-     measurement draws from the noise PRNG and the draws must happen in
-     the historical order to keep runs reproducible per seed. *)
-  let deterministic = t.cfg.noise = None in
+  (* Every measurement — noisy or not — is a pure function of (templates,
+     session reset, measurement coordinates) now that noise draws are
+     keyed rather than sequential, so the unswapped baseline the caller
+     has already measured can always be reused verbatim, and the second
+     swapped measurement can be skipped as soon as the first one refutes
+     the artifact hypothesis. *)
   let base =
     match base with
-    | Some h when deterministic -> h
-    | Some _ | None -> htraces ~templates t flat inputs
+    | Some h -> h
+    | None -> htraces ~templates t flat inputs
   in
   (* i_b measured in i_a's context slot... *)
   let seq_b_at_a = Array.copy templates in
@@ -322,10 +447,5 @@ let swap_check ?templates ?base t flat inputs a b =
     Htrace.comparable m2.(b) base.(b)
   in
   (* Artifact iff swapping contexts makes the traces agree both ways. *)
-  let artifact =
-    if deterministic then Htrace.comparable m1.(a) base.(a) && m2_agrees ()
-    else
-      let agrees2 = m2_agrees () in
-      Htrace.comparable m1.(a) base.(a) && agrees2
-  in
+  let artifact = Htrace.comparable m1.(a) base.(a) && m2_agrees () in
   not artifact

@@ -14,9 +14,16 @@ open Revizor_uarch
     - optionally inject synthetic measurement noise, so the
       noise-filtering machinery can be exercised deterministically. *)
 
+(** Synthetic measurement noise. Perturbation decisions are drawn from
+    splitmix64 streams derived from [seed] and the measurement's
+    coordinates — (test case, measurement epoch, sequence pass, input
+    index) — not from one sequential PRNG. A draw is addressed by where
+    it happens rather than by how many draws preceded it, so noisy
+    campaigns are bit-identical for any [executor_domains] count and need
+    no PRNG state in checkpoints. *)
 type noise = {
   flip_probability : float;  (** chance to add/remove one observation *)
-  rng : Prng.t;
+  seed : int64;  (** key of the derived per-measurement noise streams *)
 }
 
 (** Bounded adaptive retry (DESIGN.md §8): when the outlier filter is
@@ -52,6 +59,25 @@ type t
 val create : Cpu.t -> config -> t
 val cpu : t -> Cpu.t
 val config : t -> config
+
+val set_context : t -> tc:int -> unit
+(** Tell the executor which test case it is measuring. The test-case
+    number seeds the coordinates of the keyed noise streams (see
+    {!noise}) and resets the per-test-case measurement-epoch counter, so
+    a test case's measurements are a pure function of the campaign
+    configuration and its own number — wherever and on whatever domain
+    they run. The fuzz loop calls this once per test case; standalone
+    callers that never call it get a fixed test-case number 0, which is
+    just as deterministic. *)
+
+val set_memo : bool -> unit
+(** Master switch (default on) for measurement memoization: replaying a
+    repetition from its recorded trace when the predictor mark proves the
+    run would start from bit-identical microarchitectural state (see
+    DESIGN.md §6). Memoized and non-memoized measurements are identical
+    by construction; the switch exists so differential tests can assert
+    exactly that. Process-global because fuzzing campaigns build their
+    executors internally. *)
 
 (** Per-input measurement result. *)
 type measurement = {
@@ -103,6 +129,6 @@ val swap_check :
     [false] if it was a priming artifact.
 
     [base] is the unswapped baseline measurement, if the caller already
-    has it (from {!measure} over the same [templates]); it is reused only
-    in noise-free configurations, where re-measuring would reproduce it
-    bit for bit anyway. *)
+    has it (from {!measure} over the same [templates]); re-measuring
+    would reproduce it bit for bit — keyed noise included — so it is
+    always reused. *)

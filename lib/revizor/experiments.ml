@@ -336,8 +336,9 @@ type throughput = {
   cases_per_hour : float;
 }
 
-let throughput ?(seconds = 10.) ?(seed = 5L) () =
+let throughput ?(seconds = 10.) ?(seed = 5L) ?(executor_domains = 1) () =
   let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target1 in
+  let cfg = { cfg with Fuzzer.executor_domains } in
   let _, stats = Fuzzer.fuzz cfg ~budget:(Fuzzer.Seconds seconds) in
   {
     seconds = stats.Fuzzer.elapsed_s;
@@ -473,9 +474,7 @@ let ablation_noise_filtering ?(seed = 8L) () =
     done;
     !divergences
   in
-  let noise () =
-    Some { Executor.flip_probability = 0.4; rng = Prng.create ~seed:99L }
-  in
+  let noise () = Some { Executor.flip_probability = 0.4; seed = 99L } in
   let filtered =
     { (Executor.default_config ()) with
       Executor.noise = noise (); measurement_reps = 7; outlier_min = 3 }

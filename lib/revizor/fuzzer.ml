@@ -20,6 +20,24 @@ let sp_analyze = Probe.create "analyze"
 let sp_swap_check = Probe.create "swap_check"
 let sp_nesting = Probe.create "nesting_recheck"
 
+(* The sequential loop's inter-stage residual: per-iteration wall time
+   not covered by any stage span above (input-list generation, stats and
+   coverage bookkeeping, GC pauses landing between stages). Attributed
+   via [Probe.add_ns] so the stage breakdown accounts for ≥95% of the
+   campaign's wall time by construction. Not recorded by the pipelined
+   loop, whose stage spans overlap across domains (their sum is
+   cross-domain work, not main-thread wall time). *)
+let sp_loop_other = Probe.create "loop.other"
+
+let stage_probes =
+  [
+    sp_generate; sp_checkpoint; sp_compile; sp_materialize; sp_model;
+    sp_execute; sp_analyze; sp_swap_check; sp_nesting;
+  ]
+
+let stages_total_ns () =
+  List.fold_left (fun acc p -> acc + Probe.time_ns p) 0 stage_probes
+
 (* Registry mirrors of [stats]: same totals, but process-wide (parallel
    campaigns sum into them) and snapshotable mid-run by dashboards. *)
 let m_test_cases = Metrics.counter "fuzzer.test_cases"
@@ -57,11 +75,14 @@ type config = {
   round_length : int;
   seed : int64;
   model_domains : int;
+  executor_domains : int;
+  pipeline_depth : int;
   engine : engine;
   watchdog : Watchdog.t;
 }
 
-let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
+let default_config ?(seed = 1L) ?(model_domains = 1) ?(executor_domains = 1)
+    ?(pipeline_depth = 1) contract uarch executor =
   {
     contract;
     uarch;
@@ -72,6 +93,8 @@ let default_config ?(seed = 1L) ?(model_domains = 1) contract uarch executor =
     round_length = 25;
     seed;
     model_domains;
+    executor_domains;
+    pipeline_depth;
     engine = Compiled;
     watchdog = Watchdog.default;
   }
@@ -126,7 +149,9 @@ type budget = Test_cases of int | Seconds of float
    accumulated wall time (the one field excluded from bit-identity). *)
 type snapshot = {
   sn_prng : int64;  (** main campaign PRNG *)
-  sn_noise : int64 option;  (** executor noise PRNG, when noise is on *)
+  sn_noise : int64 option;
+      (** always [None] since noise went keyed (kept for checkpoint-codec
+          compatibility with pre-PR7 snapshots) *)
   sn_gen_cfg : Generator.cfg;
   sn_n_inputs : int;
   sn_in_round : int;
@@ -185,19 +210,13 @@ type checked = {
   dismissed_nesting : bool;
 }
 
-let check_test_case_full ?pool ?arena config executor program inputs :
+(* The per-test-case pipeline after the front-end: materialize, model,
+   analyze, measure, hunt. Takes the already-compiled program so the
+   pipelined loop can compile on the coordinating domain (keeping the
+   main PRNG there) while this runs on a worker. *)
+let check_compiled ?pool ?arena config executor program prog inputs :
     (checked, string) result =
-  match Program.flatten program with
-  | Error msg -> Error msg
-  | Ok flat -> (
-      (* Compile the program exactly once per test case: the model passes
-         (including the nesting re-check), every executor warm-up round,
-         measurement repetition and swap-check re-measurement all reuse
-         the same decoded descriptors, raw closures and fused
-         superinstruction blocks. *)
-      let prog =
-        Probe.with_span sp_compile (fun () -> compile_with config.engine flat)
-      in
+  (
       (* Materialize each input's architectural state exactly once per
          test case; the model passes, the executor's warm-up/measurement
          repetitions and the swap-check re-measurements all blit-restore
@@ -206,7 +225,13 @@ let check_test_case_full ?pool ?arena config executor program inputs :
       let templates =
         Probe.with_span sp_materialize (fun () ->
             match arena with
-            | Some a -> Arena.templates a inputs
+            | Some a ->
+                (* Sparse fill: only the data words this program can read
+                   (plus the fill-buffer seed word) need fresh values;
+                   the rest of the pooled 8 KiB sandboxes keeps provably
+                   unobservable leftovers. *)
+                let plan = Input.fill_plan prog.Revizor_emu.Compiled.flat in
+                Arena.templates ?plan a inputs
             | None -> Input.templates inputs)
       in
       let results =
@@ -338,9 +363,53 @@ let check_test_case_full ?pool ?arena config executor program inputs :
           in
           hunt [] 5 ~swapped:false ~nested:false)
 
+let check_test_case_full ?pool ?arena config executor program inputs :
+    (checked, string) result =
+  match Program.flatten program with
+  | Error msg -> Error msg
+  | Ok flat ->
+      (* Compile the program exactly once per test case: the model passes
+         (including the nesting re-check), every executor warm-up round,
+         measurement repetition and swap-check re-measurement all reuse
+         the same decoded descriptors, raw closures and fused
+         superinstruction blocks. *)
+      let prog =
+        Probe.with_span sp_compile (fun () -> compile_with config.engine flat)
+      in
+      check_compiled ?pool ?arena config executor program prog inputs
+
 let check_test_case ?pool config executor program inputs =
   Result.map (fun c -> c.violation)
     (check_test_case_full ?pool config executor program inputs)
+
+(* Everything a test case can come back as. Folding the two absorbable
+   exceptions into a value lets the pipelined loop ship outcomes across
+   domains as data and lets both loops share one commit path. *)
+type tc_outcome =
+  | O_ok of checked
+  | O_error of string
+  | O_pathological of string
+  | O_injected of string
+
+let classify f =
+  match f () with
+  | Ok checked -> O_ok checked
+  | Error msg -> O_error msg
+  | exception Watchdog.Pathological reason -> O_pathological reason
+  | exception Revizor_obs.Faultpoint.Injected point -> O_injected point
+
+(* A generated-but-not-yet-committed test case in the pipelined loop.
+   [p_prng] is the main PRNG's state right after this test case was
+   generated: committing in generation order and snapshotting that state
+   makes checkpoints bit-identical to the sequential loop's. *)
+type tc_job = Job_ready of tc_outcome | Job_fut of tc_outcome Pool.future
+
+type tc_pending = {
+  p_tc : int;
+  p_prng : int64;
+  p_inputs : int;
+  p_job : tc_job;
+}
 
 let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
   Metrics.set_gauge g_n_insts (float_of_int cfg.Generator.n_insts);
@@ -364,22 +433,26 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     | Some s -> Prng.of_state s.sn_prng
     | None -> Prng.create ~seed:config.seed
   in
-  (* The executor's noise PRNG is the same object held by
-     [config.executor]; its draws are part of the deterministic result
-     stream, so a resumed run must restart it mid-stream. *)
-  (match (resume, config.executor.Executor.noise) with
-  | Some { sn_noise = Some ns; _ }, Some n -> Prng.set_state n.Executor.rng ns
-  | _ -> ());
+  (* Noise draws are keyed on (noise seed, test-case coordinates) —
+     there is no sequential noise stream to rewind on resume anymore, so
+     snapshots carry [sn_noise = None] (old checkpoints with a stored
+     stream position are still decodable; the position is ignored). *)
   let cpu = Cpu.create config.uarch in
   let executor = Executor.create cpu config.executor in
   (* One template arena per campaign: every test case refills the same
      pooled input states (bit-identical to fresh allocation, see
      {!Arena}). *)
   let arena = Arena.create () in
+  let exec_domains = max 1 config.executor_domains in
+  (* The two pools are alternatives, not layers: with a whole-pipeline
+     executor pool each test case runs single-threaded on its domain, so
+     an inner model pool would only oversubscribe. *)
   let pool =
-    if config.model_domains > 1 then Some (Pool.create config.model_domains)
+    if exec_domains < 2 && config.model_domains > 1 then
+      Some (Pool.create config.model_domains)
     else None
   in
+  let epool = if exec_domains > 1 then Some (Pool.create exec_domains) else None in
   let stats =
     match resume with
     | Some s -> copy_stats s.sn_stats
@@ -407,6 +480,8 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         ("uarch", Json.String config.uarch.Uarch_config.name);
         ("n_inputs", Json.Int config.n_inputs);
         ("model_domains", Json.Int config.model_domains);
+        ("executor_domains", Json.Int exec_domains);
+        ("pipeline_depth", Json.Int (max 0 config.pipeline_depth));
       ];
   let combos_at_round_start =
     ref (match resume with Some s -> s.sn_combos_at_round_start | None -> 0)
@@ -421,13 +496,15 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     | Test_cases n -> stats.test_cases >= n
     | Seconds s -> base_elapsed +. (Unix.gettimeofday () -. started) >= s
   in
-  let take_snapshot () =
+  (* [prng_state] is the main PRNG as of the last committed test case's
+     generation. The sequential loop passes the live state (no draws
+     happen after generation within a test case); the pipelined loop has
+     generated ahead of the commit point, so it passes the recorded
+     per-test-case state instead. *)
+  let take_snapshot ~prng_state =
     {
-      sn_prng = Prng.state prng;
-      sn_noise =
-        Option.map
-          (fun (n : Executor.noise) -> Prng.state n.Executor.rng)
-          config.executor.Executor.noise;
+      sn_prng = prng_state;
+      sn_noise = None;
       sn_gen_cfg = !gen_cfg;
       sn_n_inputs = !n_inputs;
       sn_in_round = !in_round;
@@ -439,34 +516,20 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
       sn_coverage = Coverage.copy coverage;
     }
   in
-  let emit_checkpoint () =
+  let emit_checkpoint ~prng_state =
     match on_checkpoint with
     | None -> ()
     | Some emit ->
         Probe.with_span sp_checkpoint (fun () ->
             Metrics.incr m_checkpoints;
-            emit (take_snapshot ()))
+            emit (take_snapshot ~prng_state))
   in
   let result = ref No_violation in
-  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown pool) @@ fun () ->
-  while !result = No_violation && not (exhausted ()) do
-    stats.test_cases <- stats.test_cases + 1;
-    Metrics.incr m_test_cases;
-    if Telemetry.enabled () then
-      Telemetry.set_context [ ("tc", Json.Int stats.test_cases) ];
-    in_round := !in_round + 1;
-    let program, inputs =
-      Probe.with_span sp_generate (fun () ->
-          let program = Generator.generate prng !gen_cfg in
-          let inputs =
-            Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
-          in
-          (program, inputs))
-    in
-    stats.inputs_tested <- stats.inputs_tested + List.length inputs;
-    Metrics.add m_inputs_tested (List.length inputs);
-    (match check_test_case_full ?pool ~arena config executor program inputs with
-    | exception Watchdog.Pathological reason ->
+  (* Shared commit path: both loops fold a test case's outcome into the
+     stats, coverage and the campaign result in test-case order. *)
+  let commit_outcome outcome =
+    match outcome with
+    | O_pathological reason ->
         (* A step/time budget tripped mid-model: skip the test case,
            count it, and keep the campaign alive. *)
         stats.skipped_pathological <- stats.skipped_pathological + 1;
@@ -474,7 +537,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         if Telemetry.enabled () then
           Telemetry.event "fuzz.skipped_pathological"
             [ ("reason", Json.String reason) ]
-    | exception Revizor_obs.Faultpoint.Injected point ->
+    | O_injected point ->
         (* An armed fault fired inside the pipeline (model stage or
            executor measurement): absorb it like a faulted test case and
            record the degradation. *)
@@ -483,10 +546,10 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         Metrics.incr m_absorbed;
         if Telemetry.enabled () then
           Telemetry.event "fault.absorbed" [ ("point", Json.String point) ]
-    | Error _ ->
+    | O_error _ ->
         stats.faulted_test_cases <- stats.faulted_test_cases + 1;
         Metrics.incr m_faulted
-    | Ok checked ->
+    | O_ok checked ->
         stats.effective_inputs <- stats.effective_inputs + checked.effective;
         Metrics.add m_effective checked.effective;
         if checked.effective = 0 then begin
@@ -513,7 +576,11 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
             if Telemetry.enabled () then
               Telemetry.event "fuzz.violation"
                 [ ("summary", Json.String (Violation.summary v)) ]
-        | None -> ()));
+        | None -> ())
+  in
+  (* Round accounting, generator growth and the periodic checkpoint, run
+     after each committed test case. [prng_state] as in {!take_snapshot}. *)
+  let round_boundary ~prng_state =
     if !in_round >= config.round_length && !result = No_violation then begin
       stats.rounds <- stats.rounds + 1;
       Metrics.incr m_rounds;
@@ -541,12 +608,180 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
       checkpoint_every > 0
       && stats.test_cases mod checkpoint_every = 0
       && !result = No_violation
-    then emit_checkpoint ();
+    then emit_checkpoint ~prng_state;
     match on_progress with Some f -> f stats | None -> ()
-  done;
+  in
+  (* PRNG state after the last committed test case's generation — what a
+     final boundary snapshot must record. *)
+  let last_prng = ref (Prng.state prng) in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Pool.shutdown pool;
+      Option.iter Pool.shutdown epool;
+      Revizor_obs.Faultpoint.clear_context ())
+  @@ fun () ->
+  (match epool with
+  | None ->
+      (* Sequential loop: one test case at a time on the calling domain,
+         the exact PR6 pipeline. Noise draws and fault schedules are
+         nevertheless keyed per test case, so this path is bit-identical
+         to the pipelined loop below at any domain count. *)
+      while !result = No_violation && not (exhausted ()) do
+        let iter_start = Revizor_obs.Clock.now_ns () in
+        let stages_before = stages_total_ns () in
+        stats.test_cases <- stats.test_cases + 1;
+        Metrics.incr m_test_cases;
+        if Telemetry.enabled () then
+          Telemetry.set_context [ ("tc", Json.Int stats.test_cases) ];
+        Revizor_obs.Faultpoint.set_context
+          ~salt:(Int64.of_int stats.test_cases);
+        Executor.set_context executor ~tc:stats.test_cases;
+        in_round := !in_round + 1;
+        let program, inputs =
+          Probe.with_span sp_generate (fun () ->
+              let program = Generator.generate prng !gen_cfg in
+              let inputs =
+                Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
+              in
+              (program, inputs))
+        in
+        last_prng := Prng.state prng;
+        stats.inputs_tested <- stats.inputs_tested + List.length inputs;
+        Metrics.add m_inputs_tested (List.length inputs);
+        commit_outcome
+          (classify (fun () ->
+               check_test_case_full ?pool ~arena config executor program inputs));
+        round_boundary ~prng_state:!last_prng;
+        (* Attribute this iteration's wall time not covered by any stage
+           span (input-list plumbing, stats/coverage bookkeeping,
+           inter-stage GC) to the loop.other pseudo-stage, so the stage
+           breakdown accounts for the loop's full wall time. *)
+        let iter_ns = Revizor_obs.Clock.now_ns () - iter_start in
+        let stage_ns = stages_total_ns () - stages_before in
+        Probe.add_ns sp_loop_other (max 0 (iter_ns - stage_ns))
+      done
+  | Some ep ->
+      (* Pipelined loop. The coordinating domain owns the campaign PRNG:
+         it generates and compiles test cases in order (up to [window]
+         ahead), ships each compiled test case to the executor pool, and
+         commits outcomes strictly in generation order. Workers replicate
+         their own CPU/executor/arena lazily (domain-local); since the
+         executor canonicalizes all carried state at the head of every
+         measurement and noise/fault draws are keyed on the test-case
+         number, a test case's outcome is a pure function of the campaign
+         seed and its index — independent of which domain runs it. *)
+      let dls_state =
+        Domain.DLS.new_key (fun () ->
+            let cpu = Cpu.create config.uarch in
+            (Executor.create cpu config.executor, Arena.create ()))
+      in
+      let window = exec_domains + max 0 config.pipeline_depth in
+      let pending : tc_pending Queue.t = Queue.create () in
+      (* Generation runs ahead of the committed [stats.test_cases], but
+         never across a round boundary: growth decisions depend on the
+         round's committed coverage, so the generator stalls at the
+         boundary until the round fully commits (at which point [pending]
+         is provably empty). *)
+      let next_tc = ref stats.test_cases in
+      let gen_in_round = ref !in_round in
+      let can_generate () =
+        !result = No_violation
+        && !gen_in_round < config.round_length
+        && (not (should_stop ()))
+        &&
+        match budget with
+        | Test_cases n -> !next_tc < n
+        | Seconds s -> base_elapsed +. (Unix.gettimeofday () -. started) < s
+      in
+      let generate_one () =
+        let tc = !next_tc + 1 in
+        next_tc := tc;
+        gen_in_round := !gen_in_round + 1;
+        Revizor_obs.Faultpoint.set_context ~salt:(Int64.of_int tc);
+        let program, inputs =
+          Probe.with_span sp_generate (fun () ->
+              let program = Generator.generate prng !gen_cfg in
+              let inputs =
+                Input.generate_many prng ~entropy:config.entropy ~n:!n_inputs
+              in
+              (program, inputs))
+        in
+        let p_prng = Prng.state prng in
+        let compiled =
+          try
+            match Program.flatten program with
+            | Error msg -> Error (O_error msg)
+            | Ok flat ->
+                Ok
+                  (Probe.with_span sp_compile (fun () ->
+                       compile_with config.engine flat))
+          with
+          | Watchdog.Pathological reason -> Error (O_pathological reason)
+          | Revizor_obs.Faultpoint.Injected point -> Error (O_injected point)
+        in
+        Revizor_obs.Faultpoint.clear_context ();
+        let p_job =
+          match compiled with
+          | Error outcome -> Job_ready outcome
+          | Ok prog ->
+              Job_fut
+                (Pool.spawn ep (fun () ->
+                     let exec, warena = Domain.DLS.get dls_state in
+                     Executor.set_context exec ~tc;
+                     Revizor_obs.Faultpoint.set_context
+                       ~salt:(Int64.of_int tc);
+                     Fun.protect
+                       ~finally:Revizor_obs.Faultpoint.clear_context
+                     @@ fun () ->
+                     classify (fun () ->
+                         check_compiled ~arena:warena config exec program prog
+                           inputs)))
+        in
+        Queue.add
+          { p_tc = tc; p_prng; p_inputs = List.length inputs; p_job }
+          pending
+      in
+      let commit_front () =
+        let p = Queue.pop pending in
+        let outcome =
+          match p.p_job with
+          | Job_ready o -> o
+          | Job_fut f -> Pool.await ep f
+        in
+        stats.test_cases <- p.p_tc;
+        Metrics.incr m_test_cases;
+        if Telemetry.enabled () then
+          Telemetry.set_context [ ("tc", Json.Int p.p_tc) ];
+        in_round := !in_round + 1;
+        stats.inputs_tested <- stats.inputs_tested + p.p_inputs;
+        Metrics.add m_inputs_tested p.p_inputs;
+        last_prng := p.p_prng;
+        commit_outcome outcome;
+        round_boundary ~prng_state:p.p_prng;
+        if !in_round = 0 then gen_in_round := 0
+      in
+      while
+        !result = No_violation
+        && ((not (Queue.is_empty pending)) || can_generate ())
+      do
+        while Queue.length pending < window && can_generate () do
+          generate_one ()
+        done;
+        if not (Queue.is_empty pending) then commit_front ()
+      done;
+      (* A violation (or stop) leaves generated-ahead test cases in
+         flight; they are discarded — never committed, never visible in
+         stats or checkpoints — but must finish before the pool joins. *)
+      Queue.iter
+        (fun p ->
+          match p.p_job with
+          | Job_fut f -> ( try ignore (Pool.await ep f) with _ -> ())
+          | Job_ready _ -> ())
+        pending;
+      Queue.clear pending);
   (* A final boundary snapshot lets an interrupted (should_stop) campaign
      be resumed exactly where it left off. *)
-  if !result = No_violation then emit_checkpoint ();
+  if !result = No_violation then emit_checkpoint ~prng_state:!last_prng;
   stats.elapsed_s <- base_elapsed +. (Unix.gettimeofday () -. started);
   Metrics.set_gauge g_elapsed
     (Metrics.gauge_value g_elapsed +. stats.elapsed_s);

@@ -31,6 +31,22 @@ type config = {
           the measurement order-dependent). Results are identical for
           every value; 1 (the default) runs the plain sequential path
           with no pool at all. *)
+  executor_domains : int;
+      (** size of the whole-pipeline domain pool: when [> 1] the loop is
+          {e pipelined} — the calling domain generates and compiles test
+          cases in order while the pool's domains run the rest of each
+          test case (materialize, model, execute, analyze) on their own
+          replicated CPU/executor/arena. Noise and fault-injection draws
+          are keyed on the test-case index and the executor canonicalizes
+          all carried state per measurement, so outcomes, traces, stats
+          and checkpoints are bit-identical for every value (including 1,
+          the plain sequential loop). Mutually exclusive with
+          [model_domains] (the model pool is only created when this
+          is [<= 1]). *)
+  pipeline_depth : int;
+      (** extra test cases generated ahead of the executor pool (beyond
+          one per domain) when [executor_domains > 1]; 0 disables the
+          generate/execute overlap. No effect on results. *)
   engine : engine;
   watchdog : Watchdog.t;
       (** per-test-case step/time budgets for the model stage; the default
@@ -46,13 +62,16 @@ val compile_with : engine -> Revizor_isa.Program.flat -> Revizor_emu.Compiled.t
 val default_config :
   ?seed:int64 ->
   ?model_domains:int ->
+  ?executor_domains:int ->
+  ?pipeline_depth:int ->
   Contract.t ->
   Uarch_config.t ->
   Executor.config ->
   config
 (** Paper's starting point: 8 instructions / 2 blocks / 2 memory accesses,
     2 entropy bits, 50 inputs, rounds of 25 test cases, sequential model
-    stage ([model_domains = 1]). *)
+    and execute stages ([model_domains = executor_domains = 1],
+    [pipeline_depth = 1]). *)
 
 type stats = {
   mutable test_cases : int;
@@ -76,7 +95,11 @@ type budget = Test_cases of int | Seconds of float
 
 type snapshot = {
   sn_prng : int64;  (** main campaign PRNG state *)
-  sn_noise : int64 option;  (** executor noise PRNG state, if noise is on *)
+  sn_noise : int64 option;
+      (** always [None]: noise draws are keyed on test-case coordinates
+          (not a sequential stream), so there is nothing to rewind. The
+          field survives for checkpoint-codec compatibility with pre-PR7
+          snapshots, whose stored stream position is ignored. *)
   sn_gen_cfg : Generator.cfg;
   sn_n_inputs : int;
   sn_in_round : int;

@@ -48,10 +48,14 @@ let[@inline] set16_le buf off v =
   if Sys.big_endian then Bytes.set_uint16_le buf off v
   else unsafe_set_16 buf off v
 
-let fill_words_fast mem ~state ~entropy ~hi_zero ~words =
+let fill_words_fast mem ~state ~entropy ~hi_zero ~mid_zero ~words =
   let buf = Memory.raw mem in
   (* One bounds check for the whole fill instead of one per store. *)
   if 8 * words > Bytes.length buf then invalid_arg "Input.fill_words_fast";
+  (* With entropy ≤ 10 the shifted value never reaches past bit 15, so
+     bytes 2..3 are written as zero too — skippable on the same caller
+     guarantee as the high half. *)
+  let skip_mid = mid_zero && entropy <= 10 in
   let hi = ref (Int64.to_int (Int64.shift_right_logical state 32))
   and lo = ref (Int64.to_int (Int64.logand state 0xFFFF_FFFFL)) in
   let mul_lo16 = 0x2545F4914F6CDD1D land 0xFFFF in
@@ -74,7 +78,7 @@ let fill_words_fast mem ~state ~entropy ~hi_zero ~words =
     let v = ((l land 0xFFFF) * mul_lo16) land vmask in
     let off = w * 8 in
     set16_le buf off ((v lsl 6) land 0xFFFF);
-    set16_le buf (off + 2) (v lsr 10);
+    if not skip_mid then set16_le buf (off + 2) (v lsr 10);
     (* With entropy ≤ 16 the value never reaches past bit 21, so bytes
        4..7 of every data word are written as zero. When the caller
        guarantees they are zero already ([hi_zero]), skip the stores —
@@ -85,17 +89,169 @@ let fill_words_fast mem ~state ~entropy ~hi_zero ~words =
     end
   done
 
-let apply ?(data_hi_zero = false) t (state : State.t) =
+(* Sparse fill: write only the data words listed in [plan] (ascending),
+   with exactly the bytes the full fill would have given them — word [w]'s
+   value is drawn from the PRNG state advanced [w + 1] steps, so the
+   stream is positioned with {!Prng.jump} over skipped runs (sequential
+   stepping for short gaps, where the matrix application would cost more
+   than it saves). The plan is small, so boxed int64 stepping is fine. *)
+let fill_words_sparse mem ~state ~entropy ~hi_zero ~mid_zero ~plan =
+  let buf = Memory.raw mem in
+  let mul_lo16 = 0x2545F4914F6CDD1D land 0xFFFF in
+  let vmask = (1 lsl entropy) - 1 in
+  let skip_mid = mid_zero && entropy <= 10 in
+  let s = ref state and pos = ref 0 in
+  Array.iter
+    (fun w ->
+      if w < !pos || 8 * w + 8 > Bytes.length buf then
+        invalid_arg "Input.fill_words_sparse";
+      let gap = w + 1 - !pos in
+      if gap >= 64 then s := Prng.jump !s ~steps:gap
+      else
+        for _ = 1 to gap do
+          s := Prng.xorshift_step !s
+        done;
+      pos := w + 1;
+      let v = Int64.to_int !s land 0xFFFF * mul_lo16 land vmask in
+      let off = w * 8 in
+      set16_le buf off ((v lsl 6) land 0xFFFF);
+      if not skip_mid then set16_le buf (off + 2) (v lsr 10);
+      if not hi_zero then begin
+        set16_le buf (off + 4) 0;
+        set16_le buf (off + 6) 0
+      end)
+    plan
+
+exception Unprovable
+
+(* Static reachable-word analysis of a flat test program, justifying the
+   sparse fill. A data word may be read (architecturally or speculatively)
+   only through a sandbox memory operand, and the generator's masking
+   instrumentation pins every such access: the operand is
+   [sandbox_base + index + disp] with scale 1, and the instruction
+   immediately before it is [AND index, mask] with a line-aligned mask —
+   so the reachable addresses are exactly {L + disp | L submask of mask}.
+   The adjacency argument needs the access to be entered only by
+   fall-through from its AND: flat branch targets are always block
+   starts, so it suffices that the access is not itself a block start.
+   Speculative execution preserves this — mispredicted paths still run
+   instructions in sequence from a block start or a fall-through point,
+   and the AND masks whatever (possibly stale or forwarded) value the
+   index register holds on the wrong path.
+
+   Anything outside that shape — CALL/RET (implicit stack words inside
+   the data pages), indirect jumps (dynamic targets), a DIV/IDIV memory
+   form (its zero-divisor prefix sits between the AND and the access), an
+   unmasked or oddly shaped operand — makes the program unprovable and
+   the caller falls back to the full fill. Correctness never depends on
+   the generator's conventions: the plan is derived from the program
+   text alone. *)
+let fill_plan (flat : Program.flat) : int array option =
+  let code = flat.Program.code in
+  let n = Array.length code in
+  let words = Layout.data_pages * Layout.page_size / 8 in
+  let starts = Array.make (max n 1) false in
+  List.iter
+    (fun (_, i) -> if i < n then starts.(i) <- true)
+    flat.Program.block_starts;
+  let marked = Array.make words false in
+  let mark_access ~mask ~disp ~bytes =
+    let mark_addr l =
+      let lo = (l + disp) / 8 and hi = (l + disp + bytes - 1) / 8 in
+      (* Addresses past the data words were never filled anyway. *)
+      for w = lo to min hi (words - 1) do
+        marked.(w) <- true
+      done
+    in
+    mark_addr 0;
+    let l = ref mask in
+    while !l <> 0 do
+      mark_addr !l;
+      l := (!l - 1) land mask
+    done
+  in
+  match
+    Array.iteri
+      (fun i (inst : Instruction.t) ->
+        (match inst.Instruction.opcode with
+        | Opcode.Call | Opcode.Ret | Opcode.JmpInd -> raise_notrace Unprovable
+        | _ -> ());
+        match Instruction.mem_operand inst with
+        | None -> ()
+        | Some (m, w) ->
+            let r =
+              match m with
+              | { Operand.base = Some b; index = Some r; scale = 1; disp }
+                when Reg.equal b Reg.sandbox_base
+                     && (not (Reg.equal r Reg.sandbox_base))
+                     && disp >= 0 ->
+                  r
+              | _ -> raise_notrace Unprovable
+            in
+            if i = 0 || starts.(i) then raise_notrace Unprovable;
+            let mask =
+              match code.(i - 1) with
+              | {
+               Instruction.opcode = Opcode.And;
+               operands = [ Operand.Reg (r', Width.W64); Operand.Imm mask ];
+               target = None;
+               _;
+              }
+                when Reg.equal r' r
+                     && mask >= 0L
+                     && Int64.logand mask 63L = 0L
+                     && mask < Int64.of_int (words * 8) ->
+                  Int64.to_int mask
+              | _ -> raise_notrace Unprovable
+            in
+            mark_access ~mask ~disp:m.Operand.disp ~bytes:(Width.bits w / 8))
+      code
+  with
+  | exception Unprovable -> None
+  | () ->
+      (* The executor seeds its fill-buffer model from the last data word
+         of every template, so it is always live. *)
+      marked.(words - 1) <- true;
+      let count =
+        Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 marked
+      in
+      if 2 * count > words then None
+        (* dense plan: the unboxed full fill is cheaper per word *)
+      else begin
+        let plan = Array.make count 0 in
+        let k = ref 0 in
+        Array.iteri
+          (fun w m ->
+            if m then begin
+              plan.(!k) <- w;
+              incr k
+            end)
+          marked;
+        Some plan
+      end
+
+let apply ?(data_hi_zero = false) ?(data_mid_zero = false) ?plan t
+    (state : State.t) =
   let sub = Prng.create ~seed:t.seed in
   List.iter
     (fun r -> State.set_reg state r Width.W64 (value_of sub t.entropy))
     Reg.gen_pool;
   state.State.flags <- flags_of sub t.entropy;
   let words = Layout.data_pages * Layout.page_size / 8 in
-  if t.entropy >= 0 && t.entropy <= 16 then
-    fill_words_fast state.State.mem ~state:(Prng.state sub) ~entropy:t.entropy
-      ~hi_zero:data_hi_zero ~words
+  if t.entropy >= 0 && t.entropy <= 16 then begin
+    match plan with
+    | Some p ->
+        fill_words_sparse state.State.mem ~state:(Prng.state sub)
+          ~entropy:t.entropy ~hi_zero:data_hi_zero ~mid_zero:data_mid_zero
+          ~plan:p
+    | None ->
+        fill_words_fast state.State.mem ~state:(Prng.state sub)
+          ~entropy:t.entropy ~hi_zero:data_hi_zero ~mid_zero:data_mid_zero
+          ~words
+  end
   else
+    (* [plan] is ignored: the full fill is a safe superset and the slow
+       path is not worth a sparse variant. *)
     (* Aligned word writes by offset: this fills 8 KiB per input per test
        case, so it skips the [Memory.write] Int64 address arithmetic. *)
     for w = 0 to words - 1 do
@@ -104,8 +260,9 @@ let apply ?(data_hi_zero = false) t (state : State.t) =
 
 let to_state t =
   let state = State.create () in
-  (* Fresh states are all-zero, so the high-half stores are redundant. *)
-  apply ~data_hi_zero:true t state;
+  (* Fresh states are all-zero, so the high-half (and, at low entropy,
+     mid-byte) stores are redundant. *)
+  apply ~data_hi_zero:true ~data_mid_zero:true t state;
   state
 
 let templates inputs = Array.of_list (List.map to_state inputs)

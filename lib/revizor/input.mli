@@ -15,12 +15,36 @@ type t = { seed : int64; entropy : int }
 val generate : Prng.t -> entropy:int -> t
 val generate_many : Prng.t -> entropy:int -> n:int -> t list
 
-val apply : ?data_hi_zero:bool -> t -> State.t -> unit
+val apply :
+  ?data_hi_zero:bool -> ?data_mid_zero:bool -> ?plan:int array -> t ->
+  State.t -> unit
 (** Overwrite registers (generator pool), FLAGS and sandbox memory.
     [~data_hi_zero:true] (default [false]) asserts that bytes 4..7 of
     every data word in [state] are already zero — true for fresh states
     and for states only ever filled by [apply] — letting the fill skip
-    the redundant zero stores (half the writes of the 8 KiB fill). *)
+    the redundant zero stores (half the writes of the 8 KiB fill).
+    [~data_mid_zero:true] makes the same assertion for bytes 2..3 (the
+    fill only writes them nonzero when [entropy > 10]).
+
+    [plan] restricts the data fill to the listed words (ascending), each
+    receiving exactly the bytes the full fill would have written — the
+    PRNG stream is jumped over the gaps, not re-keyed. Sound only for a
+    plan from {!fill_plan} covering every program that will read the
+    state: unlisted words keep whatever a previous fill left there. *)
+
+val fill_plan : Revizor_isa.Program.flat -> int array option
+(** The sorted set of data words the program can read — architecturally
+    or speculatively — derived from the program text alone ([None] when
+    unprovable, e.g. CALL/RET/indirect jumps or an access not covered by
+    an adjacent masking [AND]). Filling only these words (plus the last
+    data word, which seeds the executor's fill-buffer model and is always
+    included) is observation-equivalent to the full fill: for a
+    mask-instrumented straight-line/branching program the reachable
+    addresses of each access are exactly the submasks of its AND mask
+    plus displacement, on speculative paths included. Typically a few
+    dozen words out of 1024, and empty-but-one for programs with no
+    memory operands — the main lever that makes input materialization
+    O(program footprint) instead of O(sandbox size). *)
 
 val to_state : t -> State.t
 (** Fresh architectural state initialized from the input. *)

@@ -305,6 +305,87 @@ let map_array p f arr =
       results
   end
 
+(* ------------------------------------------------------------------ *)
+(* Futures: whole-task parallelism for the pipelined fuzz loop         *)
+(* ------------------------------------------------------------------ *)
+
+(* A future completes exactly once; the result cell is an atomic so the
+   fast path of [await] is one load, with the mutex/condition pair only
+   for blocking. The completion order is set-then-signal with the waiter
+   rechecking under the lock, so a wakeup can never be missed. Task
+   exceptions are captured into the cell and re-raised at [await] — a
+   failing task cannot kill a worker or strand a waiter. *)
+type 'a future = {
+  f_result : ('a, exn) result option Atomic.t;
+  f_lock : Mutex.t;
+  f_done : Condition.t;
+}
+
+let m_spawns = Metrics.counter "pool.spawns"
+let m_helped = Metrics.counter "pool.helped_tasks"
+
+let spawn p task =
+  let fut =
+    {
+      f_result = Atomic.make None;
+      f_lock = Mutex.create ();
+      f_done = Condition.create ();
+    }
+  in
+  let run () =
+    let outcome = match task () with v -> Ok v | exception e -> Error e in
+    Atomic.set fut.f_result (Some outcome);
+    Mutex.lock fut.f_lock;
+    Condition.broadcast fut.f_done;
+    Mutex.unlock fut.f_lock
+  in
+  Metrics.incr m_spawns;
+  if p.size <= 1 || Atomic.get p.degraded then run ()
+  else
+    submit p (fun () ->
+        if Faultpoint.should_fire fp_worker then begin
+          (* Simulated domain crash while holding a future: record it,
+             then complete the future anyway — the supervision contract
+             is that injected pool faults degrade throughput, never
+             strand a waiter (cf. the parked-index recovery above). *)
+          record_crash p;
+          run ()
+        end
+        else run ());
+  fut
+
+let rec await p fut =
+  match Atomic.get fut.f_result with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None ->
+      (* Help instead of idling: the awaiting domain drains queued tasks
+         (other futures) while its own is still being computed — with a
+         deep pipeline the submitting domain is a full participant, not
+         a coordinator. Every queued task is a [spawn] wrapper, which
+         never lets an exception escape. *)
+      let stolen =
+        Mutex.lock p.lock;
+        let t =
+          if Queue.is_empty p.queue then None else Some (Queue.pop p.queue)
+        in
+        Mutex.unlock p.lock;
+        t
+      in
+      (match stolen with
+      | Some t ->
+          Metrics.incr m_helped;
+          t ()
+      | None ->
+          Mutex.lock fut.f_lock;
+          while Atomic.get fut.f_result = None do
+            Condition.wait fut.f_done fut.f_lock
+          done;
+          Mutex.unlock fut.f_lock);
+      await p fut
+
+let poll fut = Atomic.get fut.f_result <> None
+
 let shutdown p =
   if p.workers <> [] then begin
     Mutex.lock p.lock;

@@ -45,6 +45,33 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     items are retried on the submitting domain. Do not call concurrently
     from multiple domains on the same pool. *)
 
+(** {1 Futures}
+
+    Whole-task parallelism for the pipelined fuzz loop: where
+    {!map_array} fans one array out and barriers, futures let the
+    submitting domain keep several independent tasks (whole test cases)
+    in flight and collect them in its own order. *)
+
+type 'a future
+
+val spawn : t -> (unit -> 'a) -> 'a future
+(** Queue [task] for a pool domain and return its future. On a pool of
+    size 1 — or one degraded to sequential — the task runs inline before
+    [spawn] returns. A task exception is captured and re-raised by
+    {!await}, never killing a worker. An injected [pool.worker] crash on
+    the task is recorded (counting toward degradation) and the task then
+    runs anyway: supervised futures always complete. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the future completes and return its value (re-raising
+    the task's exception). While the result is pending, the awaiting
+    domain {e helps}: it drains other queued tasks instead of idling, so
+    every domain including the submitter does pipeline work. Awaiting
+    the same future twice returns the same result. *)
+
+val poll : 'a future -> bool
+(** [true] once {!await} would return without blocking. *)
+
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards;
     idempotent. *)

@@ -35,3 +35,67 @@ let split t = create ~seed:(next t)
 let state t = t.s
 let of_state s = { s = normalize s }
 let set_state t s = t.s <- normalize s
+
+(* The raw xorshift64 state transition (the three shift-xor lines of
+   [next] without the output multiply). Exposed so the input-fill fast
+   paths can advance the stream without drawing, and as the linear map
+   that [jump] exponentiates. *)
+let xorshift_step s =
+  let s = Int64.logxor s (Int64.shift_right_logical s 12) in
+  let s = Int64.logxor s (Int64.shift_left s 25) in
+  Int64.logxor s (Int64.shift_right_logical s 27)
+
+(* O(log k) stream jump. The state transition is linear over GF(2) — each
+   output bit is a xor of input bits — so advancing k steps is
+   multiplication by the k-th power of the 64×64 transition matrix M.
+   Matrices are stored column-wise (column j = image of the j-th basis
+   state, one int64 per column); applying one costs at most 64 xors, and
+   M^(2^i) for i = 0..10 is precomputed lazily by repeated squaring.
+   Sparse input fills use this to skip the PRNG over runs of data words
+   the test program provably never reads. *)
+let apply_mat cols s =
+  let acc = ref 0L in
+  for j = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical s j) 1L <> 0L then
+      acc := Int64.logxor !acc cols.(j)
+  done;
+  !acc
+
+let jump_mats =
+  lazy
+    (let m1 = Array.init 64 (fun j -> xorshift_step (Int64.shift_left 1L j)) in
+     let square m = Array.map (fun col -> apply_mat m col) m in
+     let mats = Array.make 11 m1 in
+     for i = 1 to 10 do
+       mats.(i) <- square mats.(i - 1)
+     done;
+     mats)
+
+let jump s ~steps =
+  if steps < 0 || steps >= 2048 then invalid_arg "Prng.jump";
+  let mats = Lazy.force jump_mats in
+  let s = ref s in
+  for i = 0 to 10 do
+    if steps land (1 lsl i) <> 0 then s := apply_mat mats.(i) !s
+  done;
+  !s
+
+(* Splitmix64 finalizer: a strong 64-bit bijective mixer. Used to build
+   keyed streams — a draw addressed by coordinates rather than by its
+   position in a sequential stream — which is what makes the parallel
+   executor's noise injection independent of domain count and execution
+   order. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let derive key coords =
+  let acc =
+    List.fold_left
+      (fun acc c -> mix64 (Int64.add (Int64.mul acc golden) c))
+      (mix64 key) coords
+  in
+  of_state acc

@@ -37,3 +37,35 @@ val of_state : int64 -> t
 val set_state : t -> int64 -> unit
 (** Restore a live generator in place (used to rewind the executor's
     noise stream on resume). *)
+
+(** {1 Stream jumps}
+
+    The xorshift64 state transition is linear over GF(2), so a stream can
+    be advanced by [k] steps in O(log k) matrix applications instead of
+    [k] sequential steps. Used by the sparse input fill to skip over data
+    words a test program provably never reads. *)
+
+val xorshift_step : int64 -> int64
+(** One raw state transition (no output multiply, no normalization):
+    [state (let t = of_state s in ignore (next t); t) = xorshift_step s]
+    for every nonzero [s]. *)
+
+val jump : int64 -> steps:int -> int64
+(** [jump s ~steps] is [xorshift_step] iterated [steps] times.
+    @raise Invalid_argument unless [0 <= steps < 2048]. *)
+
+(** {1 Keyed streams}
+
+    Splitmix64-based derivation of a generator from a key plus a
+    coordinate vector, e.g. [(campaign_seed, test_case, input, rep)].
+    Unlike [split], the result depends only on the coordinates — not on
+    how many draws any other stream has made — so measurement noise keyed
+    this way is bit-identical for any executor domain count and any
+    scheduling order. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer (a bijective 64-bit mixer). *)
+
+val derive : int64 -> int64 list -> t
+(** [derive key coords] is a fresh generator fully determined by
+    [key] and [coords]. *)

@@ -80,6 +80,28 @@ let reset_session t =
   t.fill_buffer <- 0L;
   t.events <- []
 
+(* Predictor-state fingerprint. The PHT/BTB contribution is the tables'
+   effective-change version counters (equal version on the same table =>
+   bit-identical contents, see Predictors); the RSB is small enough to
+   snapshot structurally. Everything else the executor observes across
+   runs of one measurement session — cache prime state, fill buffer,
+   page accessed bits — is re-established canonically before each run by
+   Attack.observe / the executor itself, so two runs whose marks match
+   start from provably identical microarchitectural state. *)
+type mark = { mk_pht : int; mk_btb : int; mk_rsb : int list }
+
+let mark t =
+  {
+    mk_pht = Predictors.Pht.version t.pht;
+    mk_btb = Predictors.Btb.version t.btb;
+    mk_rsb = Predictors.Rsb.entries t.rsb;
+  }
+
+let mark_matches t m =
+  Predictors.Pht.version t.pht = m.mk_pht
+  && Predictors.Btb.version t.btb = m.mk_btb
+  && Predictors.Rsb.entries t.rsb = m.mk_rsb
+
 let events t = List.rev t.events
 let fill_buffer t = t.fill_buffer
 let set_fill_buffer t v = t.fill_buffer <- v

@@ -72,6 +72,21 @@ val run : ?max_steps:int -> t -> Compiled.t -> State.t -> unit
 
     @raise Semantics.Division_fault, Memory.Fault as the emulator does. *)
 
+type mark
+(** Fingerprint of the cross-run microarchitectural state — the predictor
+    tables (PHT/BTB version counters plus an RSB snapshot). The cache,
+    fill buffer and page bits are deliberately absent: within a
+    measurement session they are re-established canonically before every
+    run (cache priming, per-input fill-buffer load, assist-bit clearing),
+    so the predictors are the only state one run can leak into the next.
+    Used by the executor's measurement memoization: if the mark before a
+    run equals the mark before an earlier run of the same input template,
+    and that earlier run did not change the mark, the new run is
+    guaranteed to reproduce the earlier trace bit for bit. *)
+
+val mark : t -> mark
+val mark_matches : t -> mark -> bool
+
 val events : t -> event list
 (** Speculation episodes of the most recent {!run}, in execution order. *)
 

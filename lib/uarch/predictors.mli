@@ -17,6 +17,13 @@ module Pht : sig
   val update : t -> pc:int -> taken:bool -> unit
   val reset : t -> unit
   val copy : t -> t
+
+  val version : t -> int
+  (** Monotone counter of {e effective} table changes: bumped by [reset]
+      and by any [update] that writes a value different from the one
+      already stored, and by nothing else. Equal versions on the same
+      table therefore guarantee bit-identical counters — the cheap
+      fixed-point test behind {!Cpu.mark}. *)
 end
 
 (** Branch target buffer for indirect jumps: predicts the last observed
@@ -29,6 +36,9 @@ module Btb : sig
   val update : t -> pc:int -> target:int -> unit
   val reset : t -> unit
   val copy : t -> t
+
+  val version : t -> int
+  (** Same effective-change counter as {!Pht.version}. *)
 end
 
 (** Return stack buffer of bounded depth. On underflow (more returns than
@@ -45,6 +55,12 @@ module Rsb : sig
 
   val pop : t -> int option
   (** Predicted return target on RET. *)
+
+  val entries : t -> int list
+  (** Current stack contents, newest first, as an immutable snapshot
+      ([push]/[pop] never mutate a list they have handed out). At most
+      [depth] ints, so structural comparison of two snapshots is cheap —
+      the RSB's contribution to {!Cpu.mark}. *)
 
   val reset : t -> unit
   val copy : t -> t

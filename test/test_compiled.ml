@@ -319,6 +319,106 @@ let arena_reuse_identical () =
         fresh)
     [ 10; 4; 12; 3; 16 ]
 
+(* --- sparse input fill -------------------------------------------------- *)
+
+(* The reachable-word plan must make the sparse fill observation-
+   equivalent to the full fill: model ctraces and executor measurements
+   over sparsely refilled, deliberately polluted arena templates agree
+   with freshly allocated fully-filled ones. Pollution uses maximum
+   entropy from unrelated seeds, so every unlisted word holds garbage
+   the plan claims is unreachable. *)
+let sparse_fill_equivalent () =
+  let cfg = Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target5 in
+  each_case (fun ~label ~flat ~compiled ~interp:_ ->
+      match Input.fill_plan flat with
+      | None -> () (* unprovable (e.g. a VAR memory division): full fill *)
+      | Some plan ->
+          let inputs = batch_inputs 16 9L in
+          let fresh = Input.templates inputs in
+          let arena = Arena.create () in
+          ignore
+            (Arena.templates arena
+               (List.init 16 (fun i ->
+                    { Input.seed = Int64.of_int (1000 + i); entropy = 16 })));
+          let pooled = Arena.templates ~plan arena inputs in
+          (* the plan words themselves carry identical bytes *)
+          List.iteri
+            (fun i (t : State.t) ->
+              let araw = Memory.raw t.State.mem
+              and braw = Memory.raw pooled.(i).State.mem in
+              Array.iter
+                (fun w ->
+                  check bool
+                    (Printf.sprintf "%s input %d word %d" label i w)
+                    true
+                    (Bytes.sub araw (8 * w) 8 = Bytes.sub braw (8 * w) 8))
+                plan)
+            (Array.to_list fresh);
+          List.iter
+            (fun contract ->
+              let a = Model.batch contract compiled ~templates:fresh inputs in
+              let b = Model.batch contract compiled ~templates:pooled inputs in
+              List.iteri
+                (fun i ((x : Model.result), (y : Model.result)) ->
+                  let here s =
+                    Printf.sprintf "%s %s input %d: %s" label
+                      (Contract.name contract) i s
+                  in
+                  check bool (here "ctrace") true
+                    (Ctrace.equal x.Model.ctrace y.Model.ctrace);
+                  check bool (here "faulted") x.Model.faulted y.Model.faulted;
+                  check bool (here "stream") true
+                    (Stdlib.compare x.Model.stream y.Model.stream = 0))
+                (List.combine a b))
+            [ Contract.ct_seq; Contract.ct_cond; Contract.ct_bpas ];
+          let measure templates =
+            let cpu = Cpu.create cfg.Fuzzer.uarch in
+            let executor = Executor.create cpu cfg.Fuzzer.executor in
+            Executor.measure ~templates executor compiled inputs
+          in
+          let ma = measure fresh and mb = measure pooled in
+          Array.iteri
+            (fun i (m : Executor.measurement) ->
+              let m' = mb.(i) in
+              let here s = Printf.sprintf "%s input %d: %s" label i s in
+              check bool (here "htrace") true
+                (Htrace.equal m.Executor.htrace m'.Executor.htrace);
+              check bool (here "kinds+events") true
+                (Stdlib.compare
+                   (m.Executor.kinds, m.Executor.events)
+                   (m'.Executor.kinds, m'.Executor.events)
+                = 0))
+            ma)
+
+(* Programs without memory operands need only the fill-buffer seed word:
+   the plan collapses to the last data word, which is what makes the
+   AR-heavy throughput configurations O(1) per input. *)
+let sparse_plan_shape () =
+  List.iter
+    (fun seed ->
+      let p = gen_program ~seed [ Catalog.AR ] in
+      let flat = Program.flatten_exn p in
+      match Input.fill_plan flat with
+      | Some [| 1023 |] -> ()
+      | Some plan ->
+          Alcotest.failf "AR/seed %Ld: expected [1023], got %d words" seed
+            (Array.length plan)
+      | None -> Alcotest.failf "AR/seed %Ld: expected a plan" seed)
+    seeds;
+  (* masked memory programs must be provable too *)
+  List.iter
+    (fun seed ->
+      let p = gen_program ~seed [ Catalog.AR; Catalog.MEM; Catalog.CB ] in
+      let flat = Program.flatten_exn p in
+      match Input.fill_plan flat with
+      | Some plan ->
+          check bool
+            (Printf.sprintf "AR+MEM+CB/seed %Ld: seed word included" seed)
+            true
+            (Array.exists (fun w -> w = 1023) plan)
+      | None -> Alcotest.failf "AR+MEM+CB/seed %Ld: expected a plan" seed)
+    seeds
+
 (* --- executor measurement-buffer reuse --------------------------------- *)
 
 (* One executor measuring input sets that shrink and grow must agree with
@@ -442,6 +542,9 @@ let () =
             batch_pool_identical;
           tc "arena templates equal fresh templates" `Quick
             arena_reuse_identical;
+          tc "sparse fill is observation-equivalent" `Quick
+            sparse_fill_equivalent;
+          tc "fill plans have the expected shape" `Quick sparse_plan_shape;
           tc "executor buffer reuse is bit-identical" `Quick
             executor_reuse_identical;
           tc "executor measurements are bit-identical" `Quick

@@ -47,6 +47,23 @@ let prng_tests =
         ignore (Prng.next a);
         let b = Prng.copy a in
         check int64 "same continuation" (Prng.next a) (Prng.next b));
+    tc "xorshift_step is the state transition of next" `Quick (fun () ->
+        let p = Prng.create ~seed:99L in
+        for _ = 1 to 50 do
+          let before = Prng.state p in
+          ignore (Prng.next p);
+          check int64 "transition" (Prng.state p) (Prng.xorshift_step before)
+        done);
+    tc "jump matches sequential stepping" `Quick (fun () ->
+        let s0 = Prng.state (Prng.create ~seed:42L) in
+        List.iter
+          (fun k ->
+            let seq = ref s0 in
+            for _ = 1 to k do
+              seq := Prng.xorshift_step !seq
+            done;
+            check int64 (Printf.sprintf "k=%d" k) !seq (Prng.jump s0 ~steps:k))
+          [ 0; 1; 2; 7; 63; 64; 65; 100; 511; 1023; 1024; 2047 ]);
   ]
 
 (* --- Input -------------------------------------------------------------- *)
@@ -373,9 +390,7 @@ let executor_tests =
     tc "outlier filtering drops one-off noise" `Quick (fun () ->
         (* moderate noise: spurious observations appear in few reps and are
            filtered; real observations survive most reps and are kept *)
-        let noise =
-          Some { Executor.flip_probability = 0.25; rng = Prng.create ~seed:13L }
-        in
+        let noise = Some { Executor.flip_probability = 0.25; seed = 13L } in
         let cfg =
           { (Executor.default_config ()) with
             Executor.noise; measurement_reps = 12; outlier_min = 4 }

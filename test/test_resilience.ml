@@ -443,6 +443,155 @@ let test_campaign_survives_worker_crashes () =
        ~default:0
     > 0)
 
+(* --- parallel execute/materialize (PR 7) ------------------------------ *)
+
+(* Full-campaign fingerprints must be invariant under the executor pool
+   size and the pipeline overlap depth: the pipelined loop commits in
+   generation order, workers replicate all scratch state, and noise and
+   fault draws are keyed on the test-case index. *)
+let run_campaign ?(mutate = Fun.id) ~seed ~domains ~depth ~total target =
+  let cfg = Target.fuzzer_config ~seed Contract.ct_seq target in
+  let cfg =
+    mutate
+      { cfg with Fuzzer.executor_domains = domains; pipeline_depth = depth }
+  in
+  let o, s = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases total) in
+  (outcome_summary o, stats_fingerprint s)
+
+let assert_domains_invariant ?mutate ~label target =
+  List.iter
+    (fun seed ->
+      let base =
+        run_campaign ?mutate ~seed ~domains:1 ~depth:1 ~total:40 target
+      in
+      List.iter
+        (fun (domains, depth) ->
+          let got =
+            run_campaign ?mutate ~seed ~domains ~depth ~total:40 target
+          in
+          let l =
+            Printf.sprintf "%s seed=%Ld domains=%d depth=%d" label seed
+              domains depth
+          in
+          check string (l ^ ": outcome") (fst base) (fst got);
+          check string (l ^ ": stats") (snd base) (snd got))
+        [ (2, 0); (2, 2); (4, 1) ])
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_exec_domains_bit_identical () =
+  assert_domains_invariant ~label:"plain" Target.target5
+
+let test_exec_domains_noise () =
+  (* Keyed noise: the flip schedule is a pure function of (noise seed,
+     test-case coordinates), so a noisy campaign shards identically. *)
+  let mutate cfg =
+    {
+      cfg with
+      Fuzzer.executor =
+        {
+          cfg.Fuzzer.executor with
+          Executor.noise =
+            Some { Executor.flip_probability = 0.3; seed = 41L };
+        };
+    }
+  in
+  assert_domains_invariant ~mutate ~label:"noise" Target.target5
+
+let test_exec_domains_faults () =
+  (* Per-test-case fault contexts: with an unlimited-fires schedule the
+     firing pattern inside test case [k] depends only on (fault seed, k),
+     not on which domain runs it or in what order. (A global [max_fires]
+     cap would reintroduce cross-domain ordering, so none is set.) *)
+  with_faults ~seed:11L
+    [ ("model.ctrace", { Faultpoint.rate = 0.1; after = 0; max_fires = 0 }) ]
+  @@ fun () -> assert_domains_invariant ~label:"faults" Target.target5
+
+let test_parallel_resume_bit_identical () =
+  (* Checkpoints are pool-size-invariant in both directions: a snapshot
+     taken by the pipelined loop round-trips through the codec under the
+     sequential config (same fingerprint) and resumes — in parallel mode
+     — to the exact outcome of the uninterrupted sequential run. *)
+  List.iter
+    (fun seed ->
+      let cfg = Target.fuzzer_config ~seed Contract.ct_seq Target.target5 in
+      let par =
+        { cfg with Fuzzer.executor_domains = 2; pipeline_depth = 2 }
+      in
+      let base_o, base_s = Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases 80) in
+      let last = ref None in
+      let seg1_o, _ =
+        Fuzzer.fuzz
+          ~on_checkpoint:(fun s -> last := Some s)
+          ~checkpoint_every:7 par
+          ~budget:(Fuzzer.Test_cases 30)
+      in
+      let label = Printf.sprintf "par-resume seed=%Ld" seed in
+      match seg1_o with
+      | Fuzzer.Violation _ ->
+          check string (label ^ ": early violation matches")
+            (outcome_summary base_o) (outcome_summary seg1_o)
+      | Fuzzer.No_violation -> (
+          match !last with
+          | None -> Alcotest.failf "%s: no checkpoint emitted" label
+          | Some snap -> (
+              match Campaign.of_json cfg (Campaign.to_json par snap) with
+              | Error e -> Alcotest.failf "%s: codec round-trip: %s" label e
+              | Ok snap ->
+                  let res_o, res_s =
+                    Fuzzer.fuzz ~resume:snap par
+                      ~budget:(Fuzzer.Test_cases 80)
+                  in
+                  check string (label ^ ": outcome identical")
+                    (outcome_summary base_o) (outcome_summary res_o);
+                  check string (label ^ ": stats identical")
+                    (stats_fingerprint base_s) (stats_fingerprint res_s))))
+    [ 1L; 2L; 3L ]
+
+let test_parallel_fingerprint_invariant () =
+  let cfg = Target.fuzzer_config ~seed:1L Contract.ct_seq Target.target5 in
+  let fp = Campaign.fingerprint cfg in
+  check string "executor_domains does not change fingerprint" fp
+    (Campaign.fingerprint { cfg with Fuzzer.executor_domains = 4 });
+  check string "pipeline_depth does not change fingerprint" fp
+    (Campaign.fingerprint { cfg with Fuzzer.pipeline_depth = 8 });
+  (* The noise seed keys the flip schedule, so it IS part of the result
+     stream and must be digested. *)
+  let with_noise seed =
+    Campaign.fingerprint
+      {
+        cfg with
+        Fuzzer.executor =
+          {
+            cfg.Fuzzer.executor with
+            Executor.noise =
+              Some { Executor.flip_probability = 0.3; seed };
+          };
+      }
+  in
+  check bool "noise seed changes fingerprint" true
+    (with_noise 41L <> with_noise 42L)
+
+let test_memo_off_bit_identical () =
+  (* The measurement memo must be a pure optimization: campaigns with it
+     disabled produce identical outcomes and statistics, on both a
+     branch-free and a branch-heavy (speculative) target. *)
+  let run target memo =
+    Executor.set_memo memo;
+    Fun.protect ~finally:(fun () -> Executor.set_memo true) @@ fun () ->
+    let o, s =
+      Fuzzer.fuzz
+        (Target.fuzzer_config ~seed:4L Contract.ct_seq target)
+        ~budget:(Fuzzer.Test_cases 40)
+    in
+    (outcome_summary o, stats_fingerprint s)
+  in
+  List.iter
+    (fun (name, target) ->
+      let on = run target true and off = run target false in
+      check string (name ^ ": outcome") (fst off) (fst on);
+      check string (name ^ ": stats") (snd off) (snd on))
+    [ ("target1", Target.target1); ("target5", Target.target5) ]
+
 (* --- telemetry tail tolerance ----------------------------------------- *)
 
 let test_truncated_tail_tolerated () =
@@ -508,6 +657,19 @@ let () =
             test_adaptive_off_bit_identical;
           tc "atomic writes retry injected faults" `Quick
             test_atomic_write_retry;
+        ] );
+      ( "parallel",
+        [
+          tc "executor domains bit-identical" `Slow
+            test_exec_domains_bit_identical;
+          tc "executor domains with noise" `Slow test_exec_domains_noise;
+          tc "executor domains with fault injection" `Slow
+            test_exec_domains_faults;
+          tc "parallel checkpoint/resume bit-identical" `Slow
+            test_parallel_resume_bit_identical;
+          tc "pool knobs outside fingerprint" `Quick
+            test_parallel_fingerprint_invariant;
+          tc "memo off is bit-identical" `Slow test_memo_off_bit_identical;
         ] );
       ( "telemetry",
         [ tc "truncated tail tolerated" `Quick test_truncated_tail_tolerated ] );
