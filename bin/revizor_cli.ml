@@ -213,7 +213,8 @@ let write_metrics_json path ~elapsed ~(stats : Fuzzer.stats option) =
 
 let do_fuzz contract target seed budget inputs minimize save_dir jobs
     executor_domains pipeline_depth metrics_out trace_out progress checkpoint
-    checkpoint_every resume watchdog_steps watchdog_ms fault_inject fault_seed =
+    checkpoint_every resume watchdog_steps watchdog_ms fault_inject fault_seed
+    monitor_sock heartbeat_every =
   (* Flag validation up front, before anything touches the terminal or
      the filesystem. *)
   let usage_error msg =
@@ -227,6 +228,10 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
          seeds and have no single resumable state"
     else if resume && checkpoint = None then
       usage_error "--resume requires --checkpoint FILE"
+    else if monitor_sock <> None && jobs > 1 then
+      usage_error
+        "--monitor requires -j 1: parallel campaigns have no single \
+         campaign state to report"
     else
       match fault_inject with
       | None -> None
@@ -241,6 +246,15 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
   | Some rc -> rc
   | None ->
   (match trace_out with Some path -> Telemetry.enable_file path | None -> ());
+  let monitor =
+    Option.map
+      (fun path ->
+        let m = Revizor_obs.Monitor.create ~path in
+        if progress <> `Quiet then
+          Printf.printf "[monitor endpoint on %s]\n%!" path;
+        m)
+      monitor_sock
+  in
   install_signal_handlers ();
   if progress <> `Quiet then
     Printf.printf "Testing %s against %s (seed %Ld, budget %d test cases)\n%!"
@@ -315,7 +329,8 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
       if progress = `Live then enter_live ();
       Fuzzer.fuzz ~on_progress
         ~should_stop:(fun () -> Atomic.get stop_requested)
-        ?resume:resume_snapshot ~checkpoint_every ?on_checkpoint cfg
+        ?resume:resume_snapshot ~checkpoint_every ?on_checkpoint ?monitor
+        ~heartbeat_every cfg
         ~budget:(Fuzzer.Test_cases budget)
     end
   in
@@ -340,7 +355,19 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
     (* Flush-then-disable so the JSONL sink ends on a complete line even
        when the shutdown was signal-initiated. *)
     Telemetry.flush ();
-    Telemetry.disable ()
+    Telemetry.disable ();
+    (match monitor with
+    | Some m ->
+        (* Brief post-campaign drain: a client that connected during the
+           final test case still gets its answer before the endpoint is
+           torn down. *)
+        let deadline = Unix.gettimeofday () +. 0.2 in
+        while Unix.gettimeofday () < deadline do
+          Revizor_obs.Monitor.poll m;
+          ignore (Unix.select [] [] [] 0.01)
+        done;
+        Revizor_obs.Monitor.close m
+    | None -> ())
   in
   match run () with
   | Fuzzer.No_violation, stats ->
@@ -353,8 +380,14 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
       (match save_dir with
       | Some dir ->
           Results.save_violation ~stats ~dir v;
+          (* The flight recorder runs after the campaign on a dedicated
+             CPU/executor, so enabling it cannot perturb the fuzzing
+             outcome above. *)
+          Forensics.save ~dir (Forensics.capture cfg v);
           Format.printf
-            "@.Saved to %s/{violation.asm,inputs.txt,report.txt,stats.json}@." dir
+            "@.Saved to \
+             %s/{violation.asm,inputs.txt,report.txt,stats.json,forensics.json}@."
+            dir
       | None -> ());
       if minimize then begin
         let cpu = Revizor_uarch.Cpu.create cfg.Fuzzer.uarch in
@@ -497,13 +530,35 @@ let fuzz_cmd =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed for the fault-injection schedule (with --fault-inject).")
   in
+  let monitor_sock =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "monitor" ] ~docv:"SOCK"
+          ~doc:
+            "Serve live campaign state on a Unix-domain socket at SOCK: \
+             line-delimited $(b,status)/$(b,metrics)/$(b,health) JSON \
+             requests plus a one-shot $(b,prom) Prometheus text \
+             exposition (query with $(b,revizor monitor)). Served \
+             non-blockingly at test-case boundaries; fuzzing results are \
+             bit-identical with or without it. Requires $(b,-j) 1.")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 50
+      & info [ "heartbeat-every" ] ~docv:"N"
+          ~doc:
+            "Emit a fuzz.heartbeat telemetry event (round, test cases, \
+             throughput, coverage size) every N test cases (with \
+             $(b,--trace-out); 0 disables).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
     Term.(
       const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
       $ inputs_arg $ minimize $ save_dir $ jobs $ executor_domains
       $ pipeline_depth $ metrics_out $ trace_out $ progress $ checkpoint
       $ checkpoint_every $ resume $ watchdog_steps $ watchdog_ms
-      $ fault_inject $ fault_seed)
+      $ fault_inject $ fault_seed $ monitor_sock $ heartbeat_every)
 
 (* --- check: re-verify a saved counterexample -------------------------- *)
 
@@ -703,21 +758,59 @@ let check_metrics_file path =
    the artifact up to it is still valid evidence. Malformed lines
    anywhere else still fail the check. *)
 let check_trace_file path =
-  let contents = read_whole path in
-  let lines = String.split_on_char '\n' contents in
-  let sc = Telemetry.scan_lines lines in
-  match sc.Telemetry.sc_error with
-  | Some (lineno, e) -> Error (Printf.sprintf "%s: line %d: %s" path lineno e)
-  | None ->
+  match Revizor_obs.Trace_analysis.load_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok (lines, sc) ->
       if sc.Telemetry.sc_spans + sc.Telemetry.sc_events = 0 then
         Error (Printf.sprintf "%s: no events" path)
       else
-        Ok
-          (Printf.sprintf "%s: OK (%d spans, %d events%s)" path
-             sc.Telemetry.sc_spans sc.Telemetry.sc_events
-             (if sc.Telemetry.sc_truncated_tail then
-                "; truncated final line tolerated"
-              else ""))
+        (* Structural validation on top of the line-level scan: per
+           domain, spans must nest or be disjoint (a partial overlap is
+           an orphaned span end — a telemetry bug), and the deepest
+           uncovered interval is reported so accounting holes are
+           visible at a glance. *)
+        let module T = Revizor_obs.Trace_analysis in
+        let groups = T.by_domain (T.spans_of_lines lines) in
+        let orphans =
+          List.concat_map
+            (fun (dom, spans) ->
+              List.map (fun pair -> (dom, pair)) (T.check_nesting spans).T.nst_orphans)
+            groups
+        in
+        if orphans <> [] then
+          let dom, (outer, inner) = List.hd orphans in
+          Error
+            (Printf.sprintf
+               "%s: %d orphaned span(s) — e.g. dom %d: %S [%d,+%d] \
+                partially overlaps %S [%d,+%d]"
+               path (List.length orphans) dom inner.T.sp_name inner.T.sp_start
+               inner.T.sp_dur outer.T.sp_name outer.T.sp_start outer.T.sp_dur)
+        else
+          let gap =
+            List.fold_left
+              (fun acc (dom, spans) ->
+                match T.deepest_gap spans with
+                | Some g -> (
+                    match acc with
+                    | Some (_, best) when best.T.g_dur >= g.T.g_dur -> acc
+                    | _ -> Some (dom, g))
+                | None -> acc)
+              None groups
+          in
+          Ok
+            (Printf.sprintf "%s: OK (%d spans, %d events, nesting valid%s%s)"
+               path sc.Telemetry.sc_spans sc.Telemetry.sc_events
+               (match gap with
+               | Some (dom, g) ->
+                   Printf.sprintf
+                     "; deepest unaccounted gap %.2f ms on dom %d between \
+                      %s and %s"
+                     (float_of_int g.T.g_dur /. 1e6)
+                     dom g.T.g_after g.T.g_before
+               | None -> "")
+               (if sc.Telemetry.sc_truncated_tail then
+                  "; truncated final line tolerated"
+                else ""))
 
 let do_telemetry_check metrics_file trace_file =
   let results =
@@ -755,6 +848,251 @@ let telemetry_check_cmd =
        ~doc:"Validate --metrics-out / --trace-out artifacts (used by CI).")
     Term.(const do_telemetry_check $ metrics_file $ trace_file)
 
+(* --- monitor: query a live campaign's endpoint ------------------------- *)
+
+let do_monitor sock cmd =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  match Unix.connect fd (Unix.ADDR_UNIX sock) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "revizor: cannot connect to %s: %s\n" sock
+        (Unix.error_message e);
+      2
+  | () -> (
+      (* The server answers at test-case boundaries, so a response may be
+         a few test cases away; bound the wait rather than hanging. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+      let msg = cmd ^ "\n" in
+      let rec send off =
+        if off < String.length msg then
+          send (off + Unix.write_substring fd msg off (String.length msg - off))
+      in
+      send 0;
+      (* [prom] streams until the server closes; line commands stop at
+         the first complete line. *)
+      let oneshot =
+        match cmd with
+        | "prom" | "prometheus" | "metrics.prom" -> true
+        | _ -> false
+      in
+      let buf = Buffer.create 1024 in
+      let bytes = Bytes.create 4096 in
+      let rec recv () =
+        match Unix.read fd bytes 0 (Bytes.length bytes) with
+        | 0 -> true
+        | n ->
+            Buffer.add_subbytes buf bytes 0 n;
+            if (not oneshot) && Buffer.length buf > 0
+               && String.contains (Buffer.contents buf) '\n'
+            then true
+            else recv ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            false
+        | exception Unix.Unix_error _ -> false
+      in
+      let ok = recv () in
+      print_string (Buffer.contents buf);
+      if Buffer.length buf > 0 then begin
+        if Buffer.nth buf (Buffer.length buf - 1) <> '\n' then print_newline ()
+      end;
+      flush stdout;
+      if not ok then begin
+        Printf.eprintf "revizor: no response from %s within 30s\n" sock;
+        2
+      end
+      else 0)
+
+let monitor_cmd =
+  let sock =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCK" ~doc:"Socket path passed to fuzz --monitor.")
+  in
+  let cmd =
+    Arg.(
+      value & pos 1 string "status"
+      & info [] ~docv:"CMD"
+          ~doc:"Request: status, metrics, health, or prom (Prometheus text).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Query a running campaign's --monitor endpoint.")
+    Term.(const do_monitor $ sock $ cmd)
+
+(* --- trace: analytics over --trace-out JSONL --------------------------- *)
+
+module TA = Revizor_obs.Trace_analysis
+
+let load_trace path k =
+  match TA.load_file path with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok (lines, scan) -> k lines scan
+
+let do_trace_report file =
+  load_trace file @@ fun lines scan ->
+  let spans = TA.spans_of_lines lines in
+  Printf.printf "%s: %d spans, %d events%s\n" file scan.Telemetry.sc_spans
+    scan.Telemetry.sc_events
+    (if scan.Telemetry.sc_truncated_tail then " (truncated tail dropped)"
+     else "");
+  if spans = [] then begin
+    Printf.printf "no spans to analyze\n";
+    0
+  end
+  else begin
+    Printf.printf "\nPer-stage totals:\n";
+    Printf.printf "  %-22s %9s %12s %12s %12s\n" "stage" "calls" "total ms"
+      "mean us" "max us";
+    List.iter
+      (fun (st : TA.stage_stat) ->
+        Printf.printf "  %-22s %9d %12.2f %12.1f %12.1f\n" st.TA.st_stage
+          st.TA.st_calls
+          (float_of_int st.TA.st_total_ns /. 1e6)
+          (float_of_int st.TA.st_total_ns
+          /. float_of_int (max 1 st.TA.st_calls)
+          /. 1e3)
+          (float_of_int st.TA.st_max_ns /. 1e3))
+      (TA.stage_stats spans);
+    Printf.printf "\nPer-domain utilization:\n";
+    Printf.printf "  %-6s %9s %12s %12s %8s  %s\n" "dom" "spans" "busy ms"
+      "stall ms" "busy%" "top stage";
+    List.iter
+      (fun (d : TA.domain_stat) ->
+        let wall = d.TA.d_busy_ns + d.TA.d_stall_ns in
+        Printf.printf "  %-6d %9d %12.2f %12.2f %7.1f%%  %s\n" d.TA.d_dom
+          d.TA.d_spans
+          (float_of_int d.TA.d_busy_ns /. 1e6)
+          (float_of_int d.TA.d_stall_ns /. 1e6)
+          (if wall = 0 then 0.
+           else 100. *. float_of_int d.TA.d_busy_ns /. float_of_int wall)
+          d.TA.d_top_stage)
+      (TA.domain_stats spans);
+    let ok = ref true in
+    List.iter
+      (fun (dom, group) ->
+        let n = TA.check_nesting group in
+        if n.TA.nst_orphans <> [] then begin
+          ok := false;
+          Printf.printf "\ndom %d: %d ORPHANED span pair(s)\n" dom
+            (List.length n.TA.nst_orphans)
+        end;
+        match TA.deepest_gap group with
+        | Some g when g.TA.g_dur > 0 ->
+            Printf.printf
+              "dom %d: max depth %d, deepest gap %.2f ms (%s -> %s)\n" dom
+              n.TA.nst_max_depth
+              (float_of_int g.TA.g_dur /. 1e6)
+              g.TA.g_after g.TA.g_before
+        | _ -> Printf.printf "dom %d: max depth %d, no gaps\n" dom n.TA.nst_max_depth)
+      (TA.by_domain spans);
+    if !ok then 0 else 1
+  end
+
+let do_trace_export file out =
+  load_trace file @@ fun lines _scan ->
+  Revizor_obs.Atomic_file.write out (Json.to_string (TA.to_chrome lines) ^ "\n");
+  Printf.printf "wrote %s (load in Perfetto / chrome://tracing)\n" out;
+  0
+
+let do_trace_diff file_a file_b =
+  load_trace file_a @@ fun lines_a _ ->
+  load_trace file_b @@ fun lines_b _ ->
+  let rows = TA.diff (TA.spans_of_lines lines_a) (TA.spans_of_lines lines_b) in
+  Printf.printf "%-22s %18s %18s %10s\n" "stage"
+    (Filename.basename file_a ^ " mean us")
+    (Filename.basename file_b ^ " mean us")
+    "B/A";
+  List.iter
+    (fun (r : TA.diff_row) ->
+      let mean m = if Float.is_nan m then "-" else Printf.sprintf "%.1f" (m /. 1e3) in
+      Printf.printf "%-22s %18s %18s %10s\n" r.TA.dr_stage
+        (mean r.TA.dr_mean_a_ns) (mean r.TA.dr_mean_b_ns)
+        (if Float.is_nan r.TA.dr_mean_ratio then "-"
+         else Printf.sprintf "%.2fx" r.TA.dr_mean_ratio))
+    rows;
+  0
+
+let trace_cmd =
+  let file n doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc) in
+  let report =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Per-stage and per-domain summary of a --trace-out JSONL file: \
+            stage totals, domain utilization with stall attribution, span \
+            nesting and the deepest unaccounted gap.")
+      Term.(const do_trace_report $ file 0 "JSONL trace from --trace-out.")
+  in
+  let export =
+    let out =
+      Arg.(
+        value & opt string "trace.perfetto.json"
+        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path.")
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert a --trace-out JSONL file to Chrome trace-event JSON \
+            (loadable in Perfetto / chrome://tracing).")
+      Term.(const do_trace_export $ file 0 "JSONL trace from --trace-out." $ out)
+  in
+  let diff =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Per-stage regression table between two recorded runs: calls, \
+            mean time and the B/A mean ratio per stage.")
+      Term.(
+        const do_trace_diff
+        $ file 0 "Baseline JSONL trace."
+        $ file 1 "Candidate JSONL trace.")
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analyze --trace-out telemetry (report/export/diff).")
+    [ report; export; diff ]
+
+(* --- forensics --------------------------------------------------------- *)
+
+let do_forensics_show path =
+  let path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Forensics.file ~dir:path
+    else path
+  in
+  match Forensics.load path with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok f ->
+      print_string (Forensics.render f);
+      0
+
+let forensics_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:"A forensics.json file, or a fuzz --save directory.")
+  in
+  let show =
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:
+           "Render a violation's flight-recorder artifact: program, \
+            diverging traces, speculation timeline, fence-localized leak \
+            region.")
+      Term.(const do_forensics_show $ path)
+  in
+  Cmd.group
+    (Cmd.info "forensics" ~doc:"Inspect violation flight-recorder artifacts.")
+    [ show ]
+
 (* --- isa --------------------------------------------------------------- *)
 
 let do_isa () =
@@ -784,6 +1122,9 @@ let main =
        ~doc:
          "Model-based Relational Testing of (simulated) black-box CPUs \
           against speculation contracts.")
-    [ fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd; telemetry_check_cmd ]
+    [
+      fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd;
+      telemetry_check_cmd; monitor_cmd; trace_cmd; forensics_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,259 @@
+(* Pollable Unix-domain monitor endpoint. Everything here must be safe
+   to run on the fuzz loop's critical path: no blocking syscalls, no
+   waiting on clients, bounded work per poll. *)
+
+let m_connections = Metrics.counter "monitor.connections"
+let m_requests = Metrics.counter "monitor.requests"
+
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;  (* response bytes not yet written *)
+  mutable out_off : int;
+  mutable close_after_flush : bool;  (* one-shot responses (prom) *)
+}
+
+type t = {
+  sock : Unix.file_descr;
+  sock_path : string;
+  mutable clients : client list;
+  mutable provider : (string -> Json.t option) option;
+  mutable closed : bool;
+}
+
+(* Keep the endpoint bounded: a stuck or hostile peer cannot make the
+   fuzz loop accumulate unbounded buffers. *)
+let max_clients = 16
+let max_request_len = 4096
+
+let create ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock sock;
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 8
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  { sock; sock_path = path; clients = []; provider = None; closed = false }
+
+let path t = t.sock_path
+let set_provider t f = t.provider <- Some f
+let clear_provider t = t.provider <- None
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* --- Prometheus text exposition ------------------------------------- *)
+
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ch
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let prometheus (s : Metrics.summary) =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = "revizor_" ^ sanitize name in
+      add "# TYPE %s counter\n%s %d\n" n n v)
+    s.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = "revizor_" ^ sanitize name in
+      add "# TYPE %s gauge\n%s %s\n" n n (prom_float v))
+    s.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.hist_summary)) ->
+      let n = "revizor_" ^ sanitize name in
+      add "# TYPE %s histogram\n" n;
+      (* Registry buckets are (lower bound, count); Prometheus wants
+         cumulative counts keyed by inclusive upper bound. A bucket
+         whose lower bound is [l >= 1] spans [l, 2l-1]; bucket 0 is the
+         single value 0. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (lower, count) ->
+          cum := !cum + count;
+          let le = if lower = 0 then 0 else (2 * lower) - 1 in
+          add "%s_bucket{le=\"%d\"} %d\n" n le !cum)
+        h.Metrics.h_buckets;
+      add "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.h_count;
+      add "%s_sum %d\n" n h.Metrics.h_sum;
+      add "%s_count %d\n" n h.Metrics.h_count)
+    s.Metrics.histograms;
+  Buffer.contents buf
+
+(* --- request handling ------------------------------------------------ *)
+
+let parse_command line =
+  let line = String.trim line in
+  if String.length line > 0 && line.[0] = '{' then
+    match Json.parse line with
+    | Ok j -> (
+        match Option.bind (Json.member "cmd" j) Json.to_str with
+        | Some cmd -> Ok cmd
+        | None -> Error "request object missing \"cmd\"")
+    | Error e -> Error ("bad request: " ^ e)
+  else Ok line
+
+(* Response bytes for one request line; [`Oneshot] responses close the
+   connection after the flush (Prometheus text has no line framing). *)
+let respond t line =
+  Metrics.incr m_requests;
+  let json j = `Line (Json.to_string j ^ "\n") in
+  let error msg = json (Json.Obj [ ("error", Json.String msg) ]) in
+  match parse_command line with
+  | Error msg -> error msg
+  | Ok "" -> error "empty command"
+  | Ok "metrics" ->
+      json
+        (Json.Obj
+           [
+             ("schema", Json.String "revizor.monitor.v1");
+             ("metrics", Metrics.to_json (Metrics.snapshot ()));
+           ])
+  | Ok ("prom" | "prometheus" | "metrics.prom") ->
+      `Oneshot (prometheus (Metrics.snapshot ()))
+  | Ok cmd -> (
+      match t.provider with
+      | Some f -> (
+          match f cmd with
+          | Some j -> json j
+          | None -> error (Printf.sprintf "unknown command %S" cmd))
+      | None -> (
+          (* Minimal provider-less answers, so a monitor outlives the
+             campaign that installed the provider and a bare endpoint is
+             still probeable. *)
+          match cmd with
+          | "status" | "health" ->
+              json
+                (Json.Obj
+                   [
+                     ("schema", Json.String "revizor.monitor.v1");
+                     ("state", Json.String "idle");
+                   ])
+          | _ -> error (Printf.sprintf "unknown command %S" cmd)))
+
+(* Drain complete request lines out of the client's input buffer. *)
+let serve_lines t c =
+  let data = Buffer.contents c.inbuf in
+  match String.rindex_opt data '\n' with
+  | None ->
+      if Buffer.length c.inbuf > max_request_len then Error () else Ok ()
+  | Some last_nl ->
+      Buffer.clear c.inbuf;
+      Buffer.add_string c.inbuf
+        (String.sub data (last_nl + 1) (String.length data - last_nl - 1));
+      let complete = String.sub data 0 last_nl in
+      let lines = String.split_on_char '\n' complete in
+      let closing = ref false in
+      let out = Buffer.create 256 in
+      List.iter
+        (fun line ->
+          if (not !closing) && String.trim line <> "" then
+            match respond t line with
+            | `Line s -> Buffer.add_string out s
+            | `Oneshot s ->
+                Buffer.add_string out s;
+                closing := true)
+        lines;
+      c.out <- c.out ^ Buffer.contents out;
+      if !closing then c.close_after_flush <- true;
+      Ok ()
+
+(* Push pending response bytes; [Ok ()] means keep the client. *)
+let flush_out c =
+  let len = String.length c.out - c.out_off in
+  if len = 0 then
+    if c.close_after_flush then Error () else Ok ()
+  else
+    match
+      Unix.write_substring c.fd c.out c.out_off len
+    with
+    | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off = String.length c.out then begin
+          c.out <- "";
+          c.out_off <- 0;
+          if c.close_after_flush then Error () else Ok ()
+        end
+        else Ok ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Ok ()
+    | exception Unix.Unix_error _ -> Error ()
+
+let step_client t c =
+  (* Allocated per step, not shared: polls may come from whichever
+     domain owns the campaign loop. Clients are rare; the allocation is
+     irrelevant next to the syscall. *)
+  let read_buf = Bytes.create 1024 in
+  match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+  | 0 ->
+      (* Peer closed its write side: answer what is already buffered,
+         then drop. *)
+      ignore (serve_lines t c);
+      ignore (flush_out c);
+      Error ()
+  | n ->
+      Buffer.add_subbytes c.inbuf read_buf 0 n;
+      Result.bind (serve_lines t c) (fun () -> flush_out c)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Result.bind (serve_lines t c) (fun () -> flush_out c)
+  | exception Unix.Unix_error _ -> Error ()
+
+let accept_pending t =
+  let continue_ = ref true in
+  while !continue_ do
+    match Unix.accept ~cloexec:true t.sock with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Metrics.incr m_connections;
+        if List.length t.clients >= max_clients then
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        else
+          t.clients <-
+            {
+              fd;
+              inbuf = Buffer.create 128;
+              out = "";
+              out_off = 0;
+              close_after_flush = false;
+            }
+            :: t.clients
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue_ := false
+    | exception Unix.Unix_error _ -> continue_ := false
+  done
+
+let poll t =
+  if not t.closed then begin
+    accept_pending t;
+    t.clients <-
+      List.filter
+        (fun c ->
+          match step_client t c with
+          | Ok () -> true
+          | Error () ->
+              close_client c;
+              false)
+        t.clients
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter close_client t.clients;
+    t.clients <- [];
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    try Unix.unlink t.sock_path with Unix.Unix_error _ -> ()
+  end

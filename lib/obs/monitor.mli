@@ -1,0 +1,78 @@
+(** Live campaign monitor endpoint (DESIGN.md §7).
+
+    A Unix-domain stream socket on which an external client — a human
+    with the [revizor monitor] CLI, a CI smoke job, or eventually the
+    fleet orchestrator — can watch a running fuzzing campaign. The
+    server is {e pollable}, not threaded: the owning loop (the fuzzer)
+    calls {!poll} at test-case boundaries; each poll non-blockingly
+    accepts pending connections, reads complete request lines and
+    writes responses, and never waits for a slow or absent client. With
+    no client connected a poll is a single non-blocking [accept], so
+    the endpoint's campaign overhead is measured in microseconds per
+    test case (BENCH_PR8.json bounds it below 1%).
+
+    {b Protocol}: line-delimited request/response. A request is one
+    line — either a bare command word ([status], [metrics], [health],
+    [prom]) or a JSON object [{"cmd": "status"}]. The response to
+    [status]/[metrics]/[health] is exactly one JSON object on one line;
+    a connection may issue any number of such requests. [prom] is a
+    one-shot Prometheus-style text exposition of the whole metrics
+    registry: the server writes the multi-line text and closes the
+    connection (the text format has no line-oriented framing of its
+    own). Unknown commands answer [{"error": ...}] and keep the
+    connection open.
+
+    [metrics] and [prom] are served from the process-wide
+    {!Metrics} registry by the monitor itself; [status] and [health]
+    come from the installed {!set_provider} callback (the fuzz loop
+    closes over its live campaign state), falling back to a minimal
+    registry-derived answer when no provider is installed. *)
+
+type t
+
+val create : path:string -> t
+(** Bind and listen on [path] (an existing socket file at [path] is
+    removed first — stale sockets from killed campaigns must not block
+    a restart). The listening socket and every accepted client are
+    non-blocking.
+
+    @raise Unix.Unix_error if the path cannot be bound. *)
+
+val path : t -> string
+
+val set_provider : t -> (string -> Json.t option) -> unit
+(** Install the command handler consulted for non-built-in commands
+    ([status], [health], anything future). Returning [None] yields an
+    [{"error": "unknown command"}] response. Replaces any previous
+    provider; the fuzz loop installs one per campaign. *)
+
+val clear_provider : t -> unit
+
+val poll : t -> unit
+(** Serve whatever is ready without blocking: accept pending
+    connections, read available request bytes, answer complete lines,
+    flush pending response bytes, drop closed or misbehaving clients.
+    Called by the fuzz loop at every test-case boundary; safe to call
+    after the campaign ends (a final drain loop can keep serving). *)
+
+val close : t -> unit
+(** Close every client and the listening socket and unlink the socket
+    path. Idempotent. *)
+
+(** {1 Prometheus text exposition} *)
+
+val prometheus : Metrics.summary -> string
+(** Render a metrics snapshot in the Prometheus text exposition format:
+    counters and gauges as single samples, log2-bucketed histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum]/[_count]. Metric
+    names are prefixed with [revizor_] and sanitized (every character
+    outside [[A-Za-z0-9_]] becomes [_]). *)
+
+(** {1 Registry metrics} *)
+
+val m_connections : Metrics.counter
+(** [monitor.connections] — clients accepted over the endpoint's
+    lifetime. *)
+
+val m_requests : Metrics.counter
+(** [monitor.requests] — request lines answered. *)

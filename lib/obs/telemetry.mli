@@ -42,7 +42,11 @@ val event : string -> (string * Json.t) list -> unit
 
 val span : string -> start_ns:int -> dur_ns:int -> unit
 (** Emit a [kind:"span"] line; [start_ns] is a {!Clock.now_ns} value and
-    is translated to sink-relative time. No-op while disabled. *)
+    is translated to sink-relative time. The line carries a [dom] field
+    identifying the emitting OCaml domain, so the trace-analytics
+    toolkit can group spans per domain before nesting them (spans of
+    different domains legitimately overlap under the pipelined engine).
+    No-op while disabled. *)
 
 (** {1 Parsing}
 

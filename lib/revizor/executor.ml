@@ -421,6 +421,40 @@ let measure ?templates t flat inputs =
 let htraces ?templates t flat inputs =
   Array.map (fun m -> m.htrace) (measure ?templates t flat inputs)
 
+(* Forensic replay: one primed pass capturing the full speculation-event
+   record per input. Mirrors [measure]'s structure (session reset,
+   warm-up passes, then one recorded pass) but keeps [Cpu.event] whole —
+   origin PC and transient-load counts included — where the measurement
+   path collapses events to (kind, touched-set) pairs. No noise, no
+   storms, no memoization: the flight recorder wants the mechanism
+   timeline, not a faithful reproduction of the measurement pipeline,
+   and it runs on a fresh executor after the campaign has already
+   decided the verdict. *)
+let record_events ?templates t flat inputs =
+  let templates = templates_of inputs templates in
+  Cpu.reset_session t.cpu;
+  let run_pass record =
+    Array.iteri
+      (fun idx template ->
+        if t.cfg.reset_between_inputs then Cpu.reset_session t.cpu;
+        Revizor_emu.State.copy_into template ~dst:t.scratch;
+        Cpu.set_fill_buffer t.cpu
+          (Revizor_emu.Memory.read template.Revizor_emu.State.mem
+             ~addr:last_data_word Revizor_isa.Width.W64);
+        let trace =
+          Attack.observe t.cpu t.cfg.threat (fun () ->
+              Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
+        in
+        record idx trace (Cpu.events t.cpu))
+      templates
+  in
+  for _ = 1 to t.cfg.warmup_rounds do
+    run_pass (fun _ _ _ -> ())
+  done;
+  let out = Array.make (Array.length templates) (Htrace.empty, []) in
+  run_pass (fun idx trace events -> out.(idx) <- (trace, events));
+  out
+
 let swap_check ?templates ?base t flat inputs a b =
   Metrics.incr m_swap_measures;
   let templates = templates_of inputs templates in

@@ -114,6 +114,22 @@ val htraces :
   Input.t list ->
   Htrace.t array
 
+val record_events :
+  ?templates:Revizor_emu.State.t array ->
+  t ->
+  Revizor_emu.Compiled.t ->
+  Input.t list ->
+  (Htrace.t * Cpu.event list) array
+(** Forensic replay for the violation flight recorder: reset the session,
+    run the config's warm-up passes, then one recorded primed pass,
+    returning per input the raw hardware trace of that pass together
+    with the complete speculation-event record — each {!Cpu.event} with
+    its mechanism, origin PC, transient-load count and transiently
+    touched cache sets, in execution order. Unlike {!measure} there is
+    no repetition, no outlier filter and no noise injection: this is a
+    post-hoc diagnostic pass on a dedicated executor, not a measurement
+    (the campaign's verdict is already final when it runs). *)
+
 val swap_check :
   ?templates:Revizor_emu.State.t array ->
   ?base:Htrace.t array ->

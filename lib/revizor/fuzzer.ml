@@ -4,6 +4,7 @@ module Metrics = Revizor_obs.Metrics
 module Probe = Revizor_obs.Probe
 module Telemetry = Revizor_obs.Telemetry
 module Json = Revizor_obs.Json
+module Monitor = Revizor_obs.Monitor
 
 (* Per-stage probes (§"Observability", DESIGN.md §7): each names a
    [stage.<name>.*] metric triple and emits a JSONL span when the
@@ -57,6 +58,26 @@ let g_n_blocks = Metrics.gauge "gen.n_blocks"
 let g_max_mem = Metrics.gauge "gen.max_mem_accesses"
 let g_n_inputs = Metrics.gauge "gen.n_inputs"
 let g_elapsed = Metrics.gauge "fuzzer.elapsed_s"
+
+(* Runtime-health gauges, sampled at round boundaries (and once at
+   campaign start): cheap [Gc.quick_stat] reads, so dashboards and the
+   monitor endpoint can watch allocator pressure without the campaign
+   paying for a full heap walk. Gauges, not counters: they mirror the
+   runtime's own cumulative numbers. *)
+let g_gc_minor = Metrics.gauge "gc.minor_collections"
+let g_gc_major = Metrics.gauge "gc.major_collections"
+let g_gc_compactions = Metrics.gauge "gc.compactions"
+let g_gc_heap_words = Metrics.gauge "gc.heap_words"
+let g_gc_minor_words = Metrics.gauge "gc.minor_words"
+let g_domain_count = Metrics.gauge "runtime.domain_count"
+
+let sample_runtime () =
+  let st = Gc.quick_stat () in
+  Metrics.set_gauge g_gc_minor (float_of_int st.Gc.minor_collections);
+  Metrics.set_gauge g_gc_major (float_of_int st.Gc.major_collections);
+  Metrics.set_gauge g_gc_compactions (float_of_int st.Gc.compactions);
+  Metrics.set_gauge g_gc_heap_words (float_of_int st.Gc.heap_words);
+  Metrics.set_gauge g_gc_minor_words st.Gc.minor_words
 
 (* Which execution engine runs the test programs. [Compiled] is the
    decode-once closure engine; [Interpreted] routes every step through
@@ -418,7 +439,8 @@ let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
   Metrics.set_gauge g_n_inputs (float_of_int n_inputs)
 
 let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
-    ?(checkpoint_every = 0) ?on_checkpoint config ~budget =
+    ?(checkpoint_every = 0) ?on_checkpoint ?monitor ?(heartbeat_every = 50)
+    config ~budget =
   (* Campaign GC tuning: the loop allocates a steady stream of short-lived
      values (model results, event lists, analyzer classes); the default
      256 KiB minor heap forces a minor collection every few test cases and
@@ -472,6 +494,10 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     ref (match resume with Some s -> s.sn_n_inputs | None -> config.n_inputs)
   in
   set_gen_gauges !gen_cfg ~n_inputs:!n_inputs;
+  Metrics.set_gauge g_domain_count
+    (float_of_int
+       (if exec_domains > 1 then exec_domains else max 1 config.model_domains));
+  sample_runtime ();
   if Telemetry.enabled () then
     Telemetry.event "fuzz.start"
       [
@@ -489,6 +515,72 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
   let in_round =
     ref (match resume with Some s -> s.sn_in_round | None -> 0)
   in
+  let elapsed_now () = base_elapsed +. (Unix.gettimeofday () -. started) in
+  let throughput_per_hour () =
+    let e = elapsed_now () in
+    if e <= 0. then 0. else float_of_int stats.test_cases /. e *. 3600.
+  in
+  (* Monitor endpoint state: the provider closures below are consulted
+     from [Monitor.poll] — which only ever runs on this domain, at
+     test-case boundaries — so they can read the loop's mutable state
+     without synchronization. *)
+  let campaign_state = ref "running" in
+  let last_checkpoint = ref None in
+  let pool_health () =
+    let info p = (Pool.is_degraded p, Pool.failures p) in
+    match (epool, pool) with
+    | Some p, _ | None, Some p -> info p
+    | None, None -> (false, 0)
+  in
+  (match monitor with
+  | None -> ()
+  | Some mon ->
+      Monitor.set_provider mon (fun cmd ->
+          let base =
+            [
+              ("schema", Json.String "revizor.monitor.v1");
+              ("state", Json.String !campaign_state);
+            ]
+          in
+          match cmd with
+          | "status" ->
+              Some
+                (Json.Obj
+                   (base
+                   @ [
+                       ("test_cases", Json.Int stats.test_cases);
+                       ("rounds", Json.Int stats.rounds);
+                       ("inputs_tested", Json.Int stats.inputs_tested);
+                       ( "coverage_combinations",
+                         Json.Int (Coverage.total_combinations coverage) );
+                       ( "throughput_per_hour",
+                         Json.Float (throughput_per_hour ()) );
+                       ("gen_insts", Json.Int (!gen_cfg).Generator.n_insts);
+                       ("gen_blocks", Json.Int (!gen_cfg).Generator.n_blocks);
+                       ("n_inputs", Json.Int !n_inputs);
+                       ("elapsed_s", Json.Float (elapsed_now ()));
+                     ]))
+          | "health" ->
+              let degraded, failures = pool_health () in
+              Some
+                (Json.Obj
+                   (base
+                   @ [
+                       ("pool_degraded", Json.Bool degraded);
+                       ("pool_failures", Json.Int failures);
+                       ( "watchdog_trips",
+                         Json.Int (Metrics.value Watchdog.m_skipped) );
+                       ( "faulted_test_cases",
+                         Json.Int stats.faulted_test_cases );
+                       ( "skipped_pathological",
+                         Json.Int stats.skipped_pathological );
+                       ( "checkpoint_age_s",
+                         match !last_checkpoint with
+                         | None -> Json.Null
+                         | Some t ->
+                             Json.Float (Unix.gettimeofday () -. t) );
+                     ]))
+          | _ -> None));
   let exhausted () =
     should_stop ()
     ||
@@ -522,7 +614,8 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     | Some emit ->
         Probe.with_span sp_checkpoint (fun () ->
             Metrics.incr m_checkpoints;
-            emit (take_snapshot ~prng_state))
+            emit (take_snapshot ~prng_state);
+            last_checkpoint := Some (Unix.gettimeofday ()))
   in
   let result = ref No_violation in
   (* Shared commit path: both loops fold a test case's outcome into the
@@ -597,6 +690,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         set_gen_gauges !gen_cfg ~n_inputs:!n_inputs
       end;
       combos_at_round_start := Coverage.total_combinations coverage;
+      sample_runtime ();
       if Telemetry.enabled () then
         Telemetry.event "fuzz.round"
           [
@@ -609,6 +703,23 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
       && stats.test_cases mod checkpoint_every = 0
       && !result = No_violation
     then emit_checkpoint ~prng_state;
+    (* Heartbeat and monitor service ride the same boundary. Neither
+       draws from any PRNG nor touches campaign state, so outcomes are
+       bit-identical with them on or off. *)
+    if
+      heartbeat_every > 0
+      && Telemetry.enabled ()
+      && stats.test_cases mod heartbeat_every = 0
+    then
+      Telemetry.event "fuzz.heartbeat"
+        [
+          ("test_cases", Json.Int stats.test_cases);
+          ("rounds", Json.Int stats.rounds);
+          ("throughput_per_hour", Json.Float (throughput_per_hour ()));
+          ( "coverage_combinations",
+            Json.Int (Coverage.total_combinations coverage) );
+        ];
+    (match monitor with Some m -> Monitor.poll m | None -> ());
     match on_progress with Some f -> f stats | None -> ()
   in
   (* PRNG state after the last committed test case's generation — what a
@@ -782,6 +893,14 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
   (* A final boundary snapshot lets an interrupted (should_stop) campaign
      be resumed exactly where it left off. *)
   if !result = No_violation then emit_checkpoint ~prng_state:!last_prng;
+  (campaign_state :=
+     match !result with Violation _ -> "violation" | No_violation -> "done");
+  sample_runtime ();
+  (* One final poll so clients that asked during the last test case get
+     their answer even if the campaign exits immediately after; the
+     endpoint (and the provider closures, which only read captured
+     state) stay valid for the caller's own post-campaign drain. *)
+  (match monitor with Some m -> Monitor.poll m | None -> ());
   stats.elapsed_s <- base_elapsed +. (Unix.gettimeofday () -. started);
   Metrics.set_gauge g_elapsed
     (Metrics.gauge_value g_elapsed +. stats.elapsed_s);

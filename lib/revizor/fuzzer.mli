@@ -119,6 +119,8 @@ val fuzz :
   ?resume:snapshot ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(snapshot -> unit) ->
+  ?monitor:Revizor_obs.Monitor.t ->
+  ?heartbeat_every:int ->
   config ->
   budget:budget ->
   outcome * stats
@@ -133,7 +135,20 @@ val fuzz :
     a fresh snapshot every [checkpoint_every] test cases (0, the default,
     disables periodic checkpoints) and once more when the loop exits
     without a violation — so an interrupted campaign always has a
-    boundary snapshot to resume from. *)
+    boundary snapshot to resume from.
+
+    [monitor] attaches a live {!Revizor_obs.Monitor} endpoint: the loop
+    installs [status]/[health] provider closures over its campaign state
+    (round, throughput, coverage, pool degradation, watchdog trips,
+    checkpoint age) and calls {!Revizor_obs.Monitor.poll} at every
+    test-case boundary. [heartbeat_every] (default 50, 0 disables) emits
+    a [fuzz.heartbeat] telemetry event — test cases, rounds, throughput,
+    coverage size — every N committed test cases. Neither feature draws
+    from any PRNG or writes campaign state, so fuzzing outcomes are
+    bit-identical with them on or off (asserted by the observatory test
+    suite). The monitor stays open when [fuzz] returns: the caller may
+    keep polling it (draining late clients) and is responsible for
+    {!Revizor_obs.Monitor.close}. *)
 
 val fuzz_parallel :
   ?domains:int -> config -> budget:budget -> outcome * stats list

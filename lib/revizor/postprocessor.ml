@@ -76,6 +76,12 @@ let add_fences config executor program inputs =
   in
   go program (Program.num_insts program - 1)
 
+(* Fence localization without minimization: the flight recorder wants
+   the leaking region of the ORIGINAL program (the listing the forensics
+   artifact shows), not of a reduced one. *)
+let fence_localize config executor program inputs =
+  add_fences config executor program inputs
+
 let minimize config executor (v : Violation.t) =
   let program = v.Violation.program in
   let inputs = minimize_inputs config executor program v.Violation.inputs in

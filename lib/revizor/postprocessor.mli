@@ -23,6 +23,15 @@ val still_violates :
 (** One full pipeline check (model, classes, measurement, analysis,
     filters) on a candidate reduction. *)
 
+val fence_localize :
+  Fuzzer.config -> Executor.t -> Program.t -> Input.t list -> Program.t
+(** Stage 3 alone, applied to the given (unminimized) program: insert
+    LFENCEs from the end backwards and keep those that do not kill the
+    violation. The returned program is the input program with the
+    surviving fences; the fence-free stretch delimits the leaking
+    region. Used by the violation flight recorder, which reports on the
+    original listing rather than a minimized one. *)
+
 val minimize :
   Fuzzer.config -> Executor.t -> Violation.t -> result
 (** Deterministic greedy minimization. The result is guaranteed to still

@@ -18,6 +18,10 @@ val save_violation :
     when not given) together with a metrics-registry snapshot
     ([metrics], defaulting to a fresh {!Revizor_obs.Metrics.snapshot}). *)
 
+val mkdir_p : string -> unit
+(** Recursive directory creation (shared by the artifact writers,
+    including the {!Forensics} flight recorder). *)
+
 type saved_stats = {
   stats : Fuzzer.stats option;
   metrics : Revizor_obs.Json.t;  (** as produced by {!Revizor_obs.Metrics.to_json} *)
