@@ -459,16 +459,61 @@ let monitor_overhead () =
     n_cases poll_us campaign_ms n_cases poll_total_ms (100. *. overhead);
   (campaign_ms, poll_us, overhead)
 
-(* --- BENCH_PR8.json machine-readable artifact ---------------------------- *)
+(* --- Coverage-atlas overhead (PR 9) ------------------------------------- *)
+
+(* A/B of the same campaign with atlas collection on (features harvested
+   from every measurement, registered into the accumulator at each
+   commit) vs forced off via the global switch (the executor's event
+   collection is unconditional either way; the switch gates only the
+   harvest). A speculation-heavy compliant pair — target 5 vs CT-COND,
+   where every test case mispredicts branches — so the harvest path runs
+   on essentially every measurement. Alternating min-of-rounds, as for
+   the telemetry sink. The acceptance bar is <1%. *)
+let ucoverage_overhead () =
+  section "Coverage-atlas overhead (collection on vs off)";
+  let cfg = Target.fuzzer_config ~seed Contract.ct_cond Target.target5 in
+  let n_cases = if fast then 100 else 250 in
+  let campaign ~atlas () =
+    let t0 = Unix.gettimeofday () in
+    (if atlas then
+       ignore
+         (Fuzzer.fuzz ~ucoverage:(Ucoverage.create ()) cfg
+            ~budget:(Fuzzer.Test_cases n_cases))
+     else begin
+       Ucoverage.set_enabled false;
+       Fun.protect
+         ~finally:(fun () -> Ucoverage.set_enabled true)
+         (fun () -> ignore (Fuzzer.fuzz cfg ~budget:(Fuzzer.Test_cases n_cases)))
+     end);
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  ignore (campaign ~atlas:true ());
+  let on_ms = ref infinity and off_ms = ref infinity in
+  for _ = 1 to 4 do
+    off_ms := Float.min !off_ms (campaign ~atlas:false ());
+    on_ms := Float.min !on_ms (campaign ~atlas:true ())
+  done;
+  let on_ms = !on_ms and off_ms = !off_ms in
+  let overhead = if off_ms > 0. then (on_ms -. off_ms) /. off_ms else 0. in
+  Printf.printf
+    "full campaign, %d test cases, speculation-heavy target x CT-COND:\n\
+    \  collection off: %.1f ms\n\
+    \  collection on:  %.1f ms (harvest + atlas registration)\n\
+    \  atlas overhead: %+.2f%%\n"
+    n_cases off_ms on_ms (100. *. overhead);
+  (off_ms, on_ms, overhead)
+
+(* --- BENCH_PR9.json machine-readable artifact ---------------------------- *)
 
 (* PR 7 numbers, measured on this machine at the PR 7 commit with the
    same Bechamel configuration (seed 1, FAST-mode quota 0.2s) and a
    FAST-mode (2s) throughput run (the "current" section of
    BENCH_PR7.json). Kept hardcoded so every later run reports its
-   speedup against the same fixed reference — this PR adds observability
-   (monitor endpoint, heartbeats, GC gauges) and must hold these numbers
-   rather than improve them: the acceptance bar is <1% overhead with
-   the monitor attached and ~1.0x on every bechamel row. *)
+   speedup against the same fixed reference — PR 8 (monitor endpoint,
+   heartbeats, GC gauges) and PR 9 (coverage atlas) both add
+   observability and must hold these numbers rather than improve them:
+   the acceptance bar is <1% overhead for each new collector and ~1.0x
+   on every bechamel row. *)
 let pr7_baseline_ms =
   [
     ("revizor/table3: generate+instrument one test case", 0.063);
@@ -498,9 +543,9 @@ let json_escape s =
 let write_bench_json ~rows ~(throughput : Experiments.throughput)
     ~(stage_summary : Metrics.summary) ~stage_elapsed_s ~domain_scaling
     ~(telemetry : float * float * float) ~(checkpoint : float * float * float)
-    ~(monitor : float * float * float) =
+    ~(monitor : float * float * float) ~(ucoverage : float * float * float) =
   let path =
-    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR8.json"
+    Option.value (Sys.getenv_opt "REVIZOR_BENCH_JSON") ~default:"BENCH_PR9.json"
   in
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -513,7 +558,7 @@ let write_bench_json ~rows ~(throughput : Experiments.throughput)
   in
   let bl_sec, bl_tc, bl_cph = pr7_baseline_throughput in
   add "{\n";
-  add "  \"pr\": 8,\n";
+  add "  \"pr\": 9,\n";
   add "  \"seed\": %Ld,\n" seed;
   add "  \"fast\": %b,\n" fast;
   add "  \"baseline\": {\n";
@@ -581,6 +626,11 @@ let write_bench_json ~rows ~(throughput : Experiments.throughput)
     "  \"monitor\": { \"campaign_ms\": %.3f, \"poll_us\": %.3f, \
      \"overhead\": %.4f },\n"
     mon_campaign mon_poll_us mon_overhead;
+  let uc_off, uc_on, uc_overhead = ucoverage in
+  add
+    "  \"ucoverage\": { \"collection_off_ms\": %.3f, \"collection_on_ms\": \
+     %.3f, \"overhead\": %.4f },\n"
+    uc_off uc_on uc_overhead;
   add "  \"speedup\": {\n";
   let speedups =
     List.filter_map
@@ -623,7 +673,8 @@ let () =
   let telemetry = telemetry_overhead () in
   let checkpoint = checkpoint_overhead () in
   let monitor = monitor_overhead () in
+  let ucoverage = ucoverage_overhead () in
   let rows = bechamel_suite () in
   write_bench_json ~rows ~throughput ~stage_summary ~stage_elapsed_s
-    ~domain_scaling ~telemetry ~checkpoint ~monitor;
+    ~domain_scaling ~telemetry ~checkpoint ~monitor ~ucoverage;
   print_endline "\nDone."

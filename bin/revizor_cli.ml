@@ -214,7 +214,7 @@ let write_metrics_json path ~elapsed ~(stats : Fuzzer.stats option) =
 let do_fuzz contract target seed budget inputs minimize save_dir jobs
     executor_domains pipeline_depth metrics_out trace_out progress checkpoint
     checkpoint_every resume watchdog_steps watchdog_ms fault_inject fault_seed
-    monitor_sock heartbeat_every =
+    monitor_sock heartbeat_every no_ucoverage stats_out =
   (* Flag validation up front, before anything touches the terminal or
      the filesystem. *)
   let usage_error msg =
@@ -245,6 +245,12 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
   match validation with
   | Some rc -> rc
   | None ->
+  Ucoverage.set_enabled (not no_ucoverage);
+  (* Caller-owned atlas so it can be saved after the campaign. Parallel
+     campaigns (-j > 1) run independent seeds with no single atlas. *)
+  let ucov =
+    if jobs = 1 && not no_ucoverage then Some (Ucoverage.create ()) else None
+  in
   (match trace_out with Some path -> Telemetry.enable_file path | None -> ());
   let monitor =
     Option.map
@@ -330,7 +336,7 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
       Fuzzer.fuzz ~on_progress
         ~should_stop:(fun () -> Atomic.get stop_requested)
         ?resume:resume_snapshot ~checkpoint_every ?on_checkpoint ?monitor
-        ~heartbeat_every cfg
+        ~heartbeat_every ?ucoverage:ucov cfg
         ~budget:(Fuzzer.Test_cases budget)
     end
   in
@@ -351,6 +357,14 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
           ~elapsed:(Unix.gettimeofday () -. started)
           ~stats:(Some stats);
         if progress <> `Quiet then Printf.printf "[metrics written to %s]\n%!" path
+    | None -> ());
+    (* The stats/atlas artifact for campaigns that never hit a violation
+       (a compliant target leaves no --save directory): same
+       revizor.stats.v1 document [revizor coverage] reads. *)
+    (match stats_out with
+    | Some path ->
+        Results.save_stats ~stats ?ucoverage:ucov ~path ();
+        if progress <> `Quiet then Printf.printf "[stats written to %s]\n%!" path
     | None -> ());
     (* Flush-then-disable so the JSONL sink ends on a complete line even
        when the shutdown was signal-initiated. *)
@@ -379,11 +393,11 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
       Format.printf "%a@.@.%a@." Violation.pp v Fuzzer.pp_stats stats;
       (match save_dir with
       | Some dir ->
-          Results.save_violation ~stats ~dir v;
+          Results.save_violation ~stats ?ucoverage:ucov ~dir v;
           (* The flight recorder runs after the campaign on a dedicated
              CPU/executor, so enabling it cannot perturb the fuzzing
              outcome above. *)
-          Forensics.save ~dir (Forensics.capture cfg v);
+          Forensics.save ~dir (Forensics.capture ?ucoverage:ucov cfg v);
           Format.printf
             "@.Saved to \
              %s/{violation.asm,inputs.txt,report.txt,stats.json,forensics.json}@."
@@ -552,13 +566,35 @@ let fuzz_cmd =
              throughput, coverage size) every N test cases (with \
              $(b,--trace-out); 0 disables).")
   in
+  let no_ucoverage =
+    Arg.(
+      value & flag
+      & info [ "no-ucoverage" ]
+          ~doc:
+            "Disable the microarchitectural coverage atlas (event-feature \
+             coverage harvested from the executor's measurements). Fuzzing \
+             outcomes are bit-identical either way; the switch exists for \
+             overhead measurements and differential tests.")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the revizor.stats.v1 document (statistics, metrics and \
+             the coverage atlas) to FILE at campaign end — also for \
+             compliant campaigns, which never produce a --save directory. \
+             Read by $(b,revizor coverage).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Fuzz a target against a contract (Fig. 2 pipeline).")
     Term.(
       const do_fuzz $ contract_arg $ target_arg $ seed_arg $ budget_arg
       $ inputs_arg $ minimize $ save_dir $ jobs $ executor_domains
       $ pipeline_depth $ metrics_out $ trace_out $ progress $ checkpoint
       $ checkpoint_every $ resume $ watchdog_steps $ watchdog_ms
-      $ fault_inject $ fault_seed $ monitor_sock $ heartbeat_every)
+      $ fault_inject $ fault_seed $ monitor_sock $ heartbeat_every
+      $ no_ucoverage $ stats_out)
 
 (* --- check: re-verify a saved counterexample -------------------------- *)
 
@@ -915,7 +951,9 @@ let monitor_cmd =
     Arg.(
       value & pos 1 string "status"
       & info [] ~docv:"CMD"
-          ~doc:"Request: status, metrics, health, or prom (Prometheus text).")
+          ~doc:
+            "Request: status, metrics, health, coverage, or prom \
+             (Prometheus text).")
   in
   Cmd.v
     (Cmd.info "monitor"
@@ -1093,6 +1131,179 @@ let forensics_cmd =
     (Cmd.info "forensics" ~doc:"Inspect violation flight-recorder artifacts.")
     [ show ]
 
+(* --- coverage: the microarchitectural coverage atlas ------------------- *)
+
+(* Accepts a stats.json path or a directory holding one (fuzz --save /
+   --stats-out both produce the same revizor.stats.v1 document). *)
+let load_atlas path =
+  let stats_path =
+    if Sys.file_exists path && Sys.is_directory path then
+      Filename.concat path "stats.json"
+    else path
+  in
+  match Results.load_stats stats_path with
+  | Error e -> Error e
+  | Ok { Results.ucoverage = None; _ } ->
+      Error
+        (Printf.sprintf
+           "%s: no coverage atlas (campaign ran with --no-ucoverage, or the \
+            file predates atlas collection)"
+           stats_path)
+  | Ok { Results.ucoverage = Some u; stats; _ } -> Ok (u, stats)
+
+let with_atlas path k =
+  match load_atlas path with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok (u, stats) -> k u stats
+
+(* The curve is monotone by construction (every point adds at least one
+   feature at a later test case); verifying it here makes [coverage
+   report] a self-check CI can lean on. *)
+let frontier_monotone u =
+  let rec go = function
+    | (t1, n1) :: ((t2, n2) :: _ as rest) ->
+        t1 < t2 && n1 < n2 && go rest
+    | _ -> true
+  in
+  go (Ucoverage.frontier u)
+
+let do_coverage_report path =
+  with_atlas path @@ fun u stats ->
+  let test_cases =
+    Option.map (fun (s : Fuzzer.stats) -> s.Fuzzer.test_cases) stats
+  in
+  print_string (Ucoverage.render_report ?test_cases u);
+  if frontier_monotone u then 0
+  else begin
+    Printf.eprintf "revizor: saturation curve is not monotone (corrupt atlas)\n";
+    1
+  end
+
+let do_coverage_diff path_a path_b =
+  with_atlas path_a @@ fun a _ ->
+  with_atlas path_b @@ fun b _ ->
+  let only_a, only_b = Ucoverage.diff a b in
+  let show title features =
+    Printf.printf "%s (%d):\n" title (List.length features);
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Ucoverage.feature_to_string f))
+      features
+  in
+  if only_a = [] && only_b = [] then begin
+    Printf.printf
+      "atlases cover identical feature sets (%d features each)\n"
+      (Ucoverage.distinct a);
+    0
+  end
+  else begin
+    show (Printf.sprintf "only covered by %s" path_a) only_a;
+    show (Printf.sprintf "only covered by %s" path_b) only_b;
+    0
+  end
+
+let do_coverage_export path out format frontier_only =
+  with_atlas path @@ fun u _ ->
+  let contents =
+    match format with
+    | `Json ->
+        Json.to_string_pretty
+          (if frontier_only then
+             Json.List
+               (List.map
+                  (fun (tc, n) -> Json.List [ Json.Int tc; Json.Int n ])
+                  (Ucoverage.frontier u))
+           else Ucoverage.to_json u)
+        ^ "\n"
+    | `Csv ->
+        if frontier_only then
+          "test_case,cumulative_features\n"
+          ^ String.concat ""
+              (List.map
+                 (fun (tc, n) -> Printf.sprintf "%d,%d\n" tc n)
+                 (Ucoverage.frontier u))
+        else
+          "feature,first_hit_tc\n"
+          ^ String.concat ""
+              (List.map
+                 (fun (f, tc) ->
+                   Printf.sprintf "%s,%d\n" (Ucoverage.feature_to_string f) tc)
+                 (Ucoverage.first_hits u))
+  in
+  (match out with
+  | Some o ->
+      Revizor_obs.Atomic_file.write o contents;
+      Printf.printf "wrote %s\n" o
+  | None -> print_string contents);
+  0
+
+let coverage_cmd =
+  let atlas_pos n doc =
+    Arg.(required & pos n (some string) None & info [] ~docv:"PATH" ~doc)
+  in
+  let report =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Render a campaign's microarchitectural coverage atlas: \
+            per-mechanism and per-bucket feature tables with first-hit \
+            test cases, and the saturation curve. Exits non-zero if the \
+            curve is not monotone.")
+      Term.(
+        const do_coverage_report
+        $ atlas_pos 0 "A stats.json (from fuzz --save or --stats-out), or a \
+                       directory holding one.")
+  in
+  let diff =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Differential coverage between two campaigns: which speculation \
+            features each covered that the other did not (e.g. an \
+            unpatched target vs its patched variant).")
+      Term.(
+        const do_coverage_diff
+        $ atlas_pos 0 "Baseline stats.json or directory."
+        $ atlas_pos 1 "Comparison stats.json or directory.")
+  in
+  let export =
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+    in
+    let format =
+      Arg.(
+        value
+        & opt (enum [ ("csv", `Csv); ("json", `Json) ]) `Csv
+        & info [ "format" ] ~docv:"FMT" ~doc:"Output format: csv or json.")
+    in
+    let frontier_only =
+      Arg.(
+        value & flag
+        & info [ "frontier" ]
+            ~doc:
+              "Export the saturation curve (test case, cumulative features) \
+               instead of the per-feature first-hit table.")
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Export the atlas as CSV or JSON: per-feature first hits, or \
+            the saturation curve with --frontier.")
+      Term.(
+        const do_coverage_export
+        $ atlas_pos 0 "A stats.json or directory holding one."
+        $ out $ format $ frontier_only)
+  in
+  Cmd.group
+    (Cmd.info "coverage"
+       ~doc:
+         "Inspect microarchitectural coverage atlases (report/diff/export).")
+    [ report; diff; export ]
+
 (* --- isa --------------------------------------------------------------- *)
 
 let do_isa () =
@@ -1125,6 +1336,7 @@ let main =
     [
       fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd;
       telemetry_check_cmd; monitor_cmd; trace_cmd; forensics_cmd;
+      coverage_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -140,6 +140,7 @@ let to_json config (s : Fuzzer.snapshot) =
       ("combos_at_round_start", Json.Int s.Fuzzer.sn_combos_at_round_start);
       ("stats", Fuzzer.stats_to_json s.Fuzzer.sn_stats);
       ("coverage", Coverage.to_json s.Fuzzer.sn_coverage);
+      ("ucoverage", Ucoverage.to_json s.Fuzzer.sn_ucoverage);
     ]
 
 let of_json config j =
@@ -201,6 +202,14 @@ let of_json config j =
     | Some c -> Coverage.of_json c
     | None -> Error "checkpoint: missing coverage"
   in
+  (* The atlas section is additive: checkpoints written before it existed
+     still load (with an empty atlas), and the checkpoint version stays
+     at 1 because the result-bearing state is unchanged. *)
+  let* sn_ucoverage =
+    match Json.member "ucoverage" j with
+    | Some u -> Ucoverage.of_json u
+    | None -> Ok (Ucoverage.create ())
+  in
   Ok
     {
       Fuzzer.sn_prng;
@@ -211,6 +220,7 @@ let of_json config j =
       sn_combos_at_round_start;
       sn_stats;
       sn_coverage;
+      sn_ucoverage;
     }
 
 let save ~path config snapshot =

@@ -84,7 +84,7 @@ type t = {
      reset in place, so the steady-state measurement loop allocates
      nothing per call. Row width is fixed by the config's threat mode. *)
   mutable counts : int array array;
-  mutable ev_acc : (Cpu.speculation_kind * Htrace.t) list list array;
+  mutable ev_acc : Cpu.event list list array;
   (* Measurement coordinates for keyed noise: the current test case, the
      measurement epoch within it, and the sequence pass within the
      current measurement. Set by the fuzz loop via [set_context]; a
@@ -114,7 +114,7 @@ type t = {
   mutable memo_tpl : Revizor_emu.State.t array;
   mutable memo_mark : Cpu.mark array;
   mutable memo_trace : Htrace.t array;
-  mutable memo_events : (Cpu.speculation_kind * Htrace.t) list array;
+  mutable memo_events : Cpu.event list array;
 }
 
 let create cpu cfg =
@@ -150,6 +150,7 @@ type measurement = {
   htrace : Htrace.t;
   kinds : Cpu.speculation_kind list;
   events : (Cpu.speculation_kind * Htrace.t) list;
+  runs : Cpu.event list list;
 }
 
 let apply_noise t ~idx trace =
@@ -258,17 +259,13 @@ let run_sequence ?(with_events = true) ?(memo = false) t flat
               Cpu.run ~max_steps:t.cfg.max_steps t.cpu flat t.scratch)
         in
         let events =
-          (* keep every episode for mechanism labelling; episodes without
-             cache touches carry an empty set and are never selected by
-             the trace-difference attribution. Skipped for rounds whose
-             record callback discards them (warm-up) — unless the memo
-             may need to replay them later. *)
-          if with_events || memo then
-            List.map
-              (fun (e : Cpu.event) ->
-                (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets))
-              (Cpu.events t.cpu)
-          else []
+          (* keep every episode whole — kind, origin PC, transient-load
+             count, touched sets — for mechanism labelling and the
+             coverage atlas; the measurement result collapses them to
+             (kind, touched-set) pairs at the end. Skipped for rounds
+             whose record callback discards them (warm-up) — unless the
+             memo may need to replay them later. *)
+          if with_events || memo then Cpu.events t.cpu else []
         in
         (if memo then
            if Cpu.mark_matches t.cpu before then begin
@@ -414,9 +411,16 @@ let measure ?templates t flat inputs =
       Array.iteri
         (fun o c -> if c >= threshold then htrace := Htrace.add o !htrace)
         counts.(idx);
-      let evs = List.sort_uniq Stdlib.compare (List.concat events.(idx)) in
+      let runs = events.(idx) in
+      let evs =
+        List.sort_uniq Stdlib.compare
+          (List.concat_map
+             (List.map (fun (e : Cpu.event) ->
+                  (e.Cpu.kind, Htrace.of_list e.Cpu.touched_sets)))
+             runs)
+      in
       let ks = List.sort_uniq Stdlib.compare (List.map fst evs) in
-      { htrace = !htrace; kinds = ks; events = evs })
+      { htrace = !htrace; kinds = ks; events = evs; runs })
 
 let htraces ?templates t flat inputs =
   Array.map (fun m -> m.htrace) (measure ?templates t flat inputs)

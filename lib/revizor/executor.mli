@@ -89,6 +89,14 @@ type measurement = {
       (** the same mechanisms with the cache sets they touched, so that a
           violation can be attributed to the mechanism responsible for the
           diverging observations *)
+  runs : Cpu.event list list;
+      (** the raw per-repetition speculation record: one entry per
+          measured repetition (most recent first), each the complete
+          {!Cpu.event} list of that run in execution order. This is what
+          the executor already collects to compute [kinds]/[events]; it
+          is surfaced whole so the coverage atlas can harvest event
+          features (window lengths, squash transitions, footprints)
+          without any extra simulation runs. *)
 }
 
 val measure :

@@ -26,6 +26,7 @@ type t = {
   f_fenced_asm : string;
   f_fence_positions : int list;
   f_leak_region : (int * int) option;
+  f_ucoverage : Ucoverage.t option;
 }
 
 (* Recover which original positions carry a surviving fence by walking
@@ -66,7 +67,7 @@ let event_of_cpu (e : Cpu.event) =
     ev_touched_sets = e.Cpu.touched_sets;
   }
 
-let capture (cfg : Fuzzer.config) (v : Violation.t) =
+let capture ?ucoverage (cfg : Fuzzer.config) (v : Violation.t) =
   let flat = Program.flatten_exn v.Violation.program in
   let compiled = Fuzzer.compile_with cfg.Fuzzer.engine flat in
   (* Noise-free replay: the timeline should show what the program does,
@@ -110,6 +111,7 @@ let capture (cfg : Fuzzer.config) (v : Violation.t) =
     f_fence_positions = fences;
     f_leak_region =
       leak_region ~num_insts:(Program.num_insts v.Violation.program) ~fences;
+    f_ucoverage = Option.map Ucoverage.copy ucoverage;
   }
 
 (* --- JSON codec ------------------------------------------------------ *)
@@ -161,6 +163,10 @@ let to_json t =
         | None -> Json.Null
         | Some (first, last) ->
             Json.Obj [ ("first", Json.Int first); ("last", Json.Int last) ] );
+      ( "ucoverage",
+        match t.f_ucoverage with
+        | None -> Json.Null
+        | Some u -> Ucoverage.to_json u );
     ]
 
 let ( let* ) = Result.bind
@@ -264,6 +270,12 @@ let of_json j =
           | _ -> None)
       | _ -> None
     in
+    (* Additive key: forensics files from before the atlas load fine. *)
+    let* f_ucoverage =
+      match Json.member "ucoverage" j with
+      | None | Some Json.Null -> Ok None
+      | Some u -> Result.map Option.some (Ucoverage.of_json u)
+    in
     Ok
       {
         f_label;
@@ -280,6 +292,7 @@ let of_json j =
         f_fenced_asm;
         f_fence_positions;
         f_leak_region;
+        f_ucoverage;
       }
 
 let file ~dir = Filename.concat dir "forensics.json"
@@ -352,4 +365,12 @@ let render t =
       add "(an LFENCE anywhere in this range kills the violation)\n"
   | None -> add "  no unfenced region recovered\n");
   add "\n%s\n" (String.trim t.f_fenced_asm);
+  (match t.f_ucoverage with
+  | None -> ()
+  | Some u ->
+      add "\n";
+      section "Campaign coverage atlas at detection";
+      add "  %d distinct microarchitectural features covered\n"
+        (Ucoverage.distinct u);
+      Buffer.add_string buf (Ucoverage.render_kind_table u));
   Buffer.contents buf

@@ -41,15 +41,20 @@ type t = {
       (** instruction indices after which an LFENCE survived *)
   f_leak_region : (int * int) option;
       (** first/last unfenced instruction index — the leaking region *)
+  f_ucoverage : Ucoverage.t option;
+      (** snapshot of the campaign's microarchitectural coverage atlas at
+          detection time — how broadly the campaign had exercised the
+          CPU's speculation machinery before this violation surfaced *)
 }
 
-val capture : Fuzzer.config -> Violation.t -> t
+val capture : ?ucoverage:Ucoverage.t -> Fuzzer.config -> Violation.t -> t
 (** Build the artifact: compile the violation's program, replay the
     priming sequence once on a fresh noise-free CPU/executor recording
     the complete speculation-event log ({!Executor.record_events}),
     and fence-localize the leak on the original listing
     ({!Postprocessor.fence_localize}). Deterministic for a given
-    violation and config. *)
+    violation and config. [ucoverage] embeds a copy of the campaign's
+    coverage atlas in the artifact. *)
 
 val to_json : t -> Revizor_obs.Json.t
 (** Schema ["revizor.forensics.v1"]. *)

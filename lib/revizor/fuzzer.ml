@@ -179,6 +179,7 @@ type snapshot = {
   sn_combos_at_round_start : int;
   sn_stats : stats;
   sn_coverage : Coverage.t;
+  sn_ucoverage : Ucoverage.t;
 }
 
 (* Contract traces, fanned out over the model pool when one is given. A
@@ -226,6 +227,11 @@ type checked = {
   violation : Violation.t option;
   effective : int;
   patterns : Coverage.pattern list;
+  ucov_features : Ucoverage.feature list;
+      (* atlas features harvested from this test case's measurements — a
+         pure function of the measurement, so computing it on a worker
+         domain is deterministic; [] when collection is off or nothing
+         was measured *)
   candidate_seen : bool;
   dismissed_swap : bool;
   dismissed_nesting : bool;
@@ -277,13 +283,14 @@ let check_compiled ?pool ?arena config executor program prog inputs :
               let classes = Analyzer.input_classes ctraces in
               (classes, Analyzer.effective_inputs classes))
         in
-        let no_violation ?(candidate_seen = false) ?(dismissed_swap = false)
-            ?(dismissed_nesting = false) () =
+        let no_violation ?(ucov_features = []) ?(candidate_seen = false)
+            ?(dismissed_swap = false) ?(dismissed_nesting = false) () =
           Ok
             {
               violation = None;
               effective;
               patterns;
+              ucov_features;
               candidate_seen;
               dismissed_swap;
               dismissed_nesting;
@@ -294,6 +301,15 @@ let check_compiled ?pool ?arena config executor program prog inputs :
           let measurements =
             Probe.with_span sp_execute (fun () ->
                 Executor.measure ~templates executor prog inputs)
+          in
+          (* Harvest the coverage atlas's features from the measurement's
+             speculation record — bookkeeping over data the measurement
+             already produced, never an extra run. *)
+          let ucov_features =
+            if Ucoverage.enabled () then
+              Ucoverage.features_of_measurements
+                ~descs:prog.Revizor_emu.Compiled.descs measurements
+            else []
           in
           let htraces =
             Array.map
@@ -306,12 +322,12 @@ let check_compiled ?pool ?arena config executor program prog inputs :
              divergence, so retry a bounded number of candidates. *)
           let rec hunt excluding attempts ~swapped ~nested =
             if attempts <= 0 then
-              no_violation ~candidate_seen:true ~dismissed_swap:swapped
-                ~dismissed_nesting:nested ()
+              no_violation ~ucov_features ~candidate_seen:true
+                ~dismissed_swap:swapped ~dismissed_nesting:nested ()
             else
               match Analyzer.find_violation ~excluding classes htraces with
               | None ->
-                  no_violation ~candidate_seen:(excluding <> [])
+                  no_violation ~ucov_features ~candidate_seen:(excluding <> [])
                     ~dismissed_swap:swapped ~dismissed_nesting:nested ()
               | Some cand ->
                   let pair = (cand.Analyzer.index_a, cand.Analyzer.index_b) in
@@ -377,6 +393,7 @@ let check_compiled ?pool ?arena config executor program prog inputs :
                     violation = Some violation;
                     effective;
                     patterns;
+                    ucov_features;
                     candidate_seen = true;
                     dismissed_swap = false;
                     dismissed_nesting = false;
@@ -440,7 +457,7 @@ let set_gen_gauges (cfg : Generator.cfg) ~n_inputs =
 
 let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     ?(checkpoint_every = 0) ?on_checkpoint ?monitor ?(heartbeat_every = 50)
-    config ~budget =
+    ?ucoverage config ~budget =
   (* Campaign GC tuning: the loop allocates a steady stream of short-lived
      values (model results, event lists, analyzer classes); the default
      256 KiB minor heap forces a minor collection every few test cases and
@@ -485,6 +502,12 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
     | Some s -> Coverage.copy s.sn_coverage
     | None -> Coverage.create ()
   in
+  (* The atlas is caller-owned when given (so the CLI can read it after
+     the campaign); on resume the snapshot's contents win either way. *)
+  let ucov = match ucoverage with Some u -> u | None -> Ucoverage.create () in
+  (match resume with
+  | Some s -> Ucoverage.assign ucov ~from:(Ucoverage.copy s.sn_ucoverage)
+  | None -> ());
   let base_elapsed = stats.elapsed_s in
   let started = Unix.gettimeofday () in
   let gen_cfg =
@@ -559,7 +582,21 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
                        ("gen_blocks", Json.Int (!gen_cfg).Generator.n_blocks);
                        ("n_inputs", Json.Int !n_inputs);
                        ("elapsed_s", Json.Float (elapsed_now ()));
+                       ("ucov_features", Json.Int (Ucoverage.distinct ucov));
+                       ( "ucov_per_1k_tc",
+                         Json.Float
+                           (Ucoverage.rate_per_1k ucov
+                              ~test_cases:stats.test_cases) );
                      ]))
+          | "coverage" ->
+              (* The atlas in one query: totals, per-mechanism counts and
+                 first hits, saturation state. *)
+              Some
+                (match
+                   Ucoverage.summary_json ucov ~test_cases:stats.test_cases
+                 with
+                | Json.Obj kvs -> Json.Obj (base @ kvs)
+                | j -> j)
           | "health" ->
               let degraded, failures = pool_health () in
               Some
@@ -606,6 +643,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
          s.elapsed_s <- base_elapsed +. (Unix.gettimeofday () -. started);
          s);
       sn_coverage = Coverage.copy coverage;
+      sn_ucoverage = Ucoverage.copy ucov;
     }
   in
   let emit_checkpoint ~prng_state =
@@ -663,6 +701,10 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         end;
         Coverage.register coverage ~patterns:checked.patterns
           ~effective:(checked.effective > 0);
+        (* [stats.test_cases] is this test case's index in both loops:
+           the sequential loop increments it before checking, the
+           pipelined commit sets it to [p_tc] before committing. *)
+        Ucoverage.register ucov ~tc:stats.test_cases checked.ucov_features;
         (match checked.violation with
         | Some v ->
             result := Violation v;
@@ -690,6 +732,7 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
         set_gen_gauges !gen_cfg ~n_inputs:!n_inputs
       end;
       combos_at_round_start := Coverage.total_combinations coverage;
+      Ucoverage.note_round ucov ~round:stats.rounds;
       sample_runtime ();
       if Telemetry.enabled () then
         Telemetry.event "fuzz.round"
@@ -718,6 +761,10 @@ let fuzz ?on_progress ?(should_stop = fun () -> false) ?resume
           ("throughput_per_hour", Json.Float (throughput_per_hour ()));
           ( "coverage_combinations",
             Json.Int (Coverage.total_combinations coverage) );
+          ("ucov_features", Json.Int (Ucoverage.distinct ucov));
+          ( "ucov_per_1k_tc",
+            Json.Float (Ucoverage.rate_per_1k ucov ~test_cases:stats.test_cases)
+          );
         ];
     (match monitor with Some m -> Monitor.poll m | None -> ());
     match on_progress with Some f -> f stats | None -> ()

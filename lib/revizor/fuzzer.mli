@@ -106,6 +106,10 @@ type snapshot = {
   sn_combos_at_round_start : int;
   sn_stats : stats;
   sn_coverage : Coverage.t;
+  sn_ucoverage : Ucoverage.t;
+      (** the microarchitectural coverage atlas, so a resumed campaign's
+          atlas (first hits, frontier curve, saturation counters) is
+          bit-identical to the uninterrupted run's *)
 }
 (** The campaign loop's complete mutable state at a test-case boundary.
     Resuming from a snapshot continues the interrupted run bit for bit —
@@ -121,6 +125,7 @@ val fuzz :
   ?on_checkpoint:(snapshot -> unit) ->
   ?monitor:Revizor_obs.Monitor.t ->
   ?heartbeat_every:int ->
+  ?ucoverage:Ucoverage.t ->
   config ->
   budget:budget ->
   outcome * stats
@@ -143,12 +148,20 @@ val fuzz :
     checkpoint age) and calls {!Revizor_obs.Monitor.poll} at every
     test-case boundary. [heartbeat_every] (default 50, 0 disables) emits
     a [fuzz.heartbeat] telemetry event — test cases, rounds, throughput,
-    coverage size — every N committed test cases. Neither feature draws
-    from any PRNG or writes campaign state, so fuzzing outcomes are
-    bit-identical with them on or off (asserted by the observatory test
-    suite). The monitor stays open when [fuzz] returns: the caller may
-    keep polling it (draining late clients) and is responsible for
-    {!Revizor_obs.Monitor.close}. *)
+    coverage size, atlas totals — every N committed test cases. Neither
+    feature draws from any PRNG or writes campaign state, so fuzzing
+    outcomes are bit-identical with them on or off (asserted by the
+    observatory test suite). The monitor stays open when [fuzz] returns:
+    the caller may keep polling it (draining late clients) and is
+    responsible for {!Revizor_obs.Monitor.close}.
+
+    [ucoverage] supplies a caller-owned {!Ucoverage} atlas for the
+    campaign to accumulate into (so the caller can save or render it
+    afterwards); omitted, the loop keeps a private one. The atlas feeds
+    nothing back into generation or detection — outcomes, traces, stats
+    and checkpoints' result-bearing state are bit-identical whether
+    collection is on or off ({!Ucoverage.set_enabled}). On [resume] the
+    snapshot's atlas contents overwrite the supplied one. *)
 
 val fuzz_parallel :
   ?domains:int -> config -> budget:budget -> outcome * stats list

@@ -62,18 +62,35 @@ let rec mkdir_p dir =
 
 module Json = Revizor_obs.Json
 
-type saved_stats = { stats : Fuzzer.stats option; metrics : Json.t }
+type saved_stats = {
+  stats : Fuzzer.stats option;
+  metrics : Json.t;
+  ucoverage : Ucoverage.t option;
+}
 
-let stats_json ?stats ~metrics () =
+let stats_json ?stats ?ucoverage ~metrics () =
   Json.Obj
-    [
-      ("schema", Json.String "revizor.stats.v1");
-      ( "stats",
-        match stats with Some s -> Fuzzer.stats_to_json s | None -> Json.Null );
-      ("metrics", Revizor_obs.Metrics.to_json metrics);
-    ]
+    ([
+       ("schema", Json.String "revizor.stats.v1");
+       ( "stats",
+         match stats with Some s -> Fuzzer.stats_to_json s | None -> Json.Null
+       );
+       ("metrics", Revizor_obs.Metrics.to_json metrics);
+     ]
+    @
+    match ucoverage with
+    | Some u -> [ ("ucoverage", Ucoverage.to_json u) ]
+    | None -> [])
 
-let save_violation ?stats ?metrics ~dir (v : Violation.t) =
+let save_stats ?stats ?ucoverage ?metrics ~path () =
+  let metrics =
+    match metrics with Some m -> m | None -> Revizor_obs.Metrics.snapshot ()
+  in
+  mkdir_p (Filename.dirname path);
+  write_file path
+    (Json.to_string_pretty (stats_json ?stats ?ucoverage ~metrics ()) ^ "\n")
+
+let save_violation ?stats ?ucoverage ?metrics ~dir (v : Violation.t) =
   mkdir_p dir;
   write_file
     (Filename.concat dir "violation.asm")
@@ -82,12 +99,9 @@ let save_violation ?stats ?metrics ~dir (v : Violation.t) =
   write_file
     (Filename.concat dir "report.txt")
     (Format.asprintf "%a@." Violation.pp v);
-  let metrics =
-    match metrics with Some m -> m | None -> Revizor_obs.Metrics.snapshot ()
-  in
-  write_file
-    (Filename.concat dir "stats.json")
-    (Json.to_string_pretty (stats_json ?stats ~metrics ()) ^ "\n")
+  save_stats ?stats ?ucoverage ?metrics
+    ~path:(Filename.concat dir "stats.json")
+    ()
 
 let load_stats path =
   match read_file path with
@@ -97,10 +111,21 @@ let load_stats path =
       | Error e -> Error (Printf.sprintf "%s: %s" path e)
       | Ok j -> (
           let metrics = Option.value (Json.member "metrics" j) ~default:Json.Null in
-          match Json.member "stats" j with
-          | None -> Error (Printf.sprintf "%s: missing stats key" path)
-          | Some Json.Null -> Ok { stats = None; metrics }
-          | Some sj -> (
-              match Fuzzer.stats_of_json sj with
-              | Ok s -> Ok { stats = Some s; metrics }
-              | Error e -> Error (Printf.sprintf "%s: %s" path e))))
+          let ucoverage =
+            (* Additive section: stats files from before the atlas existed
+               load with [None]; a malformed section is an error, not a
+               silent [None]. *)
+            match Json.member "ucoverage" j with
+            | None | Some Json.Null -> Ok None
+            | Some u -> Result.map Option.some (Ucoverage.of_json u)
+          in
+          match ucoverage with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok ucoverage -> (
+              match Json.member "stats" j with
+              | None -> Error (Printf.sprintf "%s: missing stats key" path)
+              | Some Json.Null -> Ok { stats = None; metrics; ucoverage }
+              | Some sj -> (
+                  match Fuzzer.stats_of_json sj with
+                  | Ok s -> Ok { stats = Some s; metrics; ucoverage }
+                  | Error e -> Error (Printf.sprintf "%s: %s" path e)))))

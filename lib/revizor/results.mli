@@ -8,6 +8,7 @@ open Revizor_isa
 
 val save_violation :
   ?stats:Fuzzer.stats ->
+  ?ucoverage:Ucoverage.t ->
   ?metrics:Revizor_obs.Metrics.summary ->
   dir:string ->
   Violation.t ->
@@ -15,8 +16,22 @@ val save_violation :
 (** Writes [dir/violation.asm], [dir/inputs.txt], [dir/report.txt] and
     [dir/stats.json] (creating [dir] if needed). [stats.json] captures
     the fuzzing statistics at detection time ([stats], omitted as [null]
-    when not given) together with a metrics-registry snapshot
-    ([metrics], defaulting to a fresh {!Revizor_obs.Metrics.snapshot}). *)
+    when not given), the campaign's microarchitectural coverage atlas
+    ([ucoverage], omitted entirely when not given) and a
+    metrics-registry snapshot ([metrics], defaulting to a fresh
+    {!Revizor_obs.Metrics.snapshot}). *)
+
+val save_stats :
+  ?stats:Fuzzer.stats ->
+  ?ucoverage:Ucoverage.t ->
+  ?metrics:Revizor_obs.Metrics.summary ->
+  path:string ->
+  unit ->
+  unit
+(** Write just the [revizor.stats.v1] document to [path] (creating the
+    parent directory if needed) — what [revizor fuzz --stats-out] uses
+    so compliant campaigns, which never produce a violation directory,
+    still leave a stats/coverage artifact for [revizor coverage]. *)
 
 val mkdir_p : string -> unit
 (** Recursive directory creation (shared by the artifact writers,
@@ -25,6 +40,9 @@ val mkdir_p : string -> unit
 type saved_stats = {
   stats : Fuzzer.stats option;
   metrics : Revizor_obs.Json.t;  (** as produced by {!Revizor_obs.Metrics.to_json} *)
+  ucoverage : Ucoverage.t option;
+      (** the coverage atlas, when the file has one (absent in stats
+          files written before the atlas existed) *)
 }
 
 val load_stats : string -> (saved_stats, string) result

@@ -114,6 +114,16 @@ let count_ports t (d : Compiled.desc) =
     t.port_counts.(p) <- t.port_counts.(p) + 1
   done
 
+let all_kinds =
+  [
+    Branch_mispredict;
+    Return_mispredict;
+    Indirect_mispredict;
+    Store_bypass;
+    Assist_load_forward;
+    Assist_store_forward;
+  ]
+
 let kind_to_string = function
   | Branch_mispredict -> "branch-mispredict"
   | Return_mispredict -> "return-mispredict"
@@ -121,6 +131,9 @@ let kind_to_string = function
   | Store_bypass -> "store-bypass"
   | Assist_load_forward -> "assist-load-forward"
   | Assist_store_forward -> "assist-store-forward"
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
 
 let pp_event fmt e =
   Format.fprintf fmt "%s@pc=%d (transient loads: %d, sets: %s)"

@@ -95,5 +95,12 @@ val port_counts : t -> int array
     including transient µops that beat the squash — the observable of the
     port-contention channel (extension, cf. §7). *)
 
+val all_kinds : speculation_kind list
+(** Every mechanism, in declaration order (coverage enumerations). *)
+
 val kind_to_string : speculation_kind -> string
+
+val kind_of_string : string -> speculation_kind option
+(** Inverse of {!kind_to_string}. *)
+
 val pp_event : Format.formatter -> event -> unit
