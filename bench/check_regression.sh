@@ -3,7 +3,7 @@
 #
 # Guards the perf-smoke CI job: fails (exit 1) when the spectre-v1
 # full-pipeline bechamel row of CURRENT is more than 25% slower than the
-# same row in BASELINE (the checked-in BENCH_PR9.json). The 25% headroom
+# same row in BASELINE (the checked-in BENCH_PR10.json). The 25% headroom
 # absorbs shared-runner noise while still catching real regressions of
 # the execution engine.
 #

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Smoke-mode benchmark run: skips the slow Tables 3-5, shortens the
 # Bechamel quota and the throughput window, and writes the machine-
-# readable before/after artifact (BENCH_PR9.json by default; override
+# readable before/after artifact (BENCH_PR10.json by default; override
 # with REVIZOR_BENCH_JSON). Suitable for CI.
 set -eu
 cd "$(dirname "$0")/.."

@@ -374,12 +374,9 @@ let do_fuzz contract target seed budget inputs minimize save_dir jobs
     | Some m ->
         (* Brief post-campaign drain: a client that connected during the
            final test case still gets its answer before the endpoint is
-           torn down. *)
-        let deadline = Unix.gettimeofday () +. 0.2 in
-        while Unix.gettimeofday () < deadline do
-          Revizor_obs.Monitor.poll m;
-          ignore (Unix.select [] [] [] 0.01)
-        done;
+           torn down, and an idle endpoint costs one poll, not the full
+           timeout. *)
+        Revizor_obs.Monitor.drain ~timeout:0.2 m;
         Revizor_obs.Monitor.close m
     | None -> ())
   in
@@ -1327,6 +1324,272 @@ let isa_cmd =
     (Cmd.info "isa" ~doc:"Report the instruction-catalog sizes (cf. §6.1).")
     Term.(const do_isa $ const ())
 
+(* --- fleet: multi-process campaign orchestration ----------------------- *)
+
+module Fleet_ledger = Revizor_fleet.Ledger
+module Fleet_merge = Revizor_fleet.Merge
+module Fleet_orch = Revizor_fleet.Orchestrator
+
+(* Closing summary for run/resume/status: ledger counts plus the merged
+   corpus. Exit codes: 0 compliant, 1 violations found, 3 shards
+   quarantined (results incomplete), 2 operational error. *)
+let fleet_summary dir =
+  match Fleet_ledger.load ~dir with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok ledger ->
+      let p, l, d, q = Fleet_ledger.counts ledger in
+      Printf.printf
+        "fleet %s: %d shards — %d done, %d pending, %d leased, %d quarantined\n"
+        (Fleet_ledger.fingerprint ledger.Fleet_ledger.spec)
+        (Array.length ledger.Fleet_ledger.shards)
+        d p l q;
+      let violations =
+        match Fleet_merge.load ~dir ~spec:ledger.Fleet_ledger.spec with
+        | Error e ->
+            Printf.printf "  (no merged corpus: %s)\n" e;
+            0
+        | Ok m ->
+            let vs = Fleet_merge.violations m in
+            Printf.printf "  merged: %d shards, %d violations, %d atlas features\n"
+              (List.length (Fleet_merge.shards m))
+              (List.length vs)
+              (Ucoverage.distinct (Fleet_merge.atlas m));
+            List.iter
+              (fun (v : Fleet_merge.violation) ->
+                Printf.printf "  shard %d (seed 0x%Lx): %s\n" v.Fleet_merge.mv_shard
+                  v.Fleet_merge.mv_seed
+                  v.Fleet_merge.mv_entry.Revizor_fleet.Worker.v_label)
+              vs;
+            List.length vs
+      in
+      flush stdout;
+      if q > 0 then 3 else if violations > 0 then 1 else 0
+
+let arm_faults fault_inject fault_seed =
+  match fault_inject with
+  | None -> Ok ()
+  | Some spec -> (
+      match Revizor_obs.Faultpoint.parse_spec spec with
+      | Ok points ->
+          Revizor_obs.Faultpoint.enable ~seed:fault_seed points;
+          Ok ()
+      | Error e -> Error (Printf.sprintf "--fault-inject: %s" e))
+
+let do_fleet_run dir contract target shards seed budget inputs workers lease
+    max_attempts checkpoint_every fleet_seed fault_inject fault_seed
+    as_reference quiet =
+  match arm_faults fault_inject fault_seed with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok () -> (
+      let seeds = List.init shards (fun i -> Int64.add seed (Int64.of_int i)) in
+      let spec =
+        {
+          (Fleet_ledger.default_spec ~target:target.Target.name
+             ~contract:(Contract.name contract) ~seeds)
+          with
+          Fleet_ledger.sp_budget = budget;
+          sp_n_inputs = inputs;
+          sp_workers = max 1 workers;
+          sp_lease_s = lease;
+          sp_max_attempts = max_attempts;
+          sp_checkpoint_every = checkpoint_every;
+          sp_fleet_seed = fleet_seed;
+        }
+      in
+      let log =
+        if quiet then fun _ -> ()
+        else fun s -> Printf.printf "[fleet] %s\n%!" s
+      in
+      if as_reference then begin
+        match Fleet_orch.reference ~dir ~log spec with
+        | Ok () -> fleet_summary dir
+        | Error e ->
+            Printf.eprintf "revizor: %s\n" e;
+            2
+      end
+      else begin
+        install_signal_handlers ();
+        if not quiet then
+          Printf.printf
+            "Fleet: %s vs %s — %d shards (seeds 0x%Lx..0x%Lx), %d workers, \
+             budget %d, lease %.1fs\n%!"
+            target.Target.name (Contract.name contract) shards seed
+            (Int64.add seed (Int64.of_int (shards - 1)))
+            spec.Fleet_ledger.sp_workers budget lease;
+        match
+          Fleet_orch.run ~dir ~log
+            ~should_stop:(fun () -> Atomic.get stop_requested)
+            spec
+        with
+        | Ok Fleet_orch.Completed -> fleet_summary dir
+        | Ok Fleet_orch.Interrupted ->
+            if not quiet then Printf.printf "[fleet] interrupted; resume with `revizor fleet resume --dir %s`\n%!" dir;
+            ignore (fleet_summary dir);
+            130
+        | Error e ->
+            Printf.eprintf "revizor: %s\n" e;
+            2
+      end)
+
+let do_fleet_resume dir fault_inject fault_seed quiet =
+  match arm_faults fault_inject fault_seed with
+  | Error e ->
+      Printf.eprintf "revizor: %s\n" e;
+      2
+  | Ok () -> (
+      install_signal_handlers ();
+      let log =
+        if quiet then fun _ -> ()
+        else fun s -> Printf.printf "[fleet] %s\n%!" s
+      in
+      match
+        Fleet_orch.resume ~dir ~log
+          ~should_stop:(fun () -> Atomic.get stop_requested)
+          ()
+      with
+      | Ok Fleet_orch.Completed -> fleet_summary dir
+      | Ok Fleet_orch.Interrupted ->
+          ignore (fleet_summary dir);
+          130
+      | Error e ->
+          Printf.eprintf "revizor: %s\n" e;
+          2)
+
+let do_fleet_status dir =
+  let sock = Fleet_ledger.fleet_sock dir in
+  (* Prefer the live orchestrator's status socket; fall back to reading
+     the ledger off disk when no orchestrator is running. *)
+  if
+    Sys.file_exists sock
+    && Fleet_orch.heartbeat_alive ~sock_path:sock ~timeout:0.3
+  then do_monitor sock "status"
+  else fleet_summary dir
+
+let fleet_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:"Fleet campaign directory (ledger, checkpoints, merged corpus).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of shards: campaign seeds SEED..SEED+N-1, one per shard.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "w"; "workers" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  in
+  let lease =
+    Arg.(
+      value & opt float 5.
+      & info [ "lease" ] ~docv:"SECONDS"
+          ~doc:
+            "Shard lease length. Heartbeats over the worker's monitor \
+             socket renew it; an expired lease means a crashed or hung \
+             worker, which is killed and its shard re-adopted from its \
+             last checkpoint.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 5
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Failed adoptions (with capped-backoff re-adoption gates) \
+             before a shard is quarantined.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 10
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Test cases between a worker's periodic shard checkpoints.")
+  in
+  let fleet_seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "fleet-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the deterministic re-adoption backoff jitter.")
+  in
+  let fault_inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-inject" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection (fleet points: \
+             $(b,fleet.spawn), $(b,fleet.heartbeat), $(b,fleet.merge), \
+             $(b,fleet.ledger_write), $(b,fleet.worker_crash), \
+             $(b,fleet.worker_hang); plus every in-worker point).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int64 42L
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the fault-injection schedule (with --fault-inject).")
+  in
+  let as_reference =
+    Arg.(
+      value & flag
+      & info [ "reference" ]
+          ~doc:
+            "Run the shards sequentially in-process through the same merge \
+             code (no forking, no faults): the byte-identity baseline a \
+             fleet run over the same spec is diffed against.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
+  in
+  let run =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a sharded campaign across worker processes under the \
+            lease-based ledger; crash/hang recovery resumes shards from \
+            their checkpoints with bit-identical merged results.")
+      Term.(
+        const do_fleet_run $ dir_arg $ contract_arg $ target_arg $ shards
+        $ seed_arg $ budget_arg $ inputs_arg $ workers $ lease $ max_attempts
+        $ checkpoint_every $ fleet_seed $ fault_inject $ fault_seed
+        $ as_reference $ quiet)
+  in
+  let resume =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume a fleet campaign after orchestrator death: the ledger \
+            and shard checkpoints alone reconstruct the state; merged \
+            results are byte-identical to an uninterrupted run.")
+      Term.(const do_fleet_resume $ dir_arg $ fault_inject $ fault_seed $ quiet)
+  in
+  let status =
+    let dir_pos =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"DIR" ~doc:"Fleet campaign directory.")
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Query a fleet: the live orchestrator's status socket when one \
+            is running, the on-disk ledger and merged corpus otherwise.")
+      Term.(const do_fleet_status $ dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:
+         "Multi-process campaign orchestration: lease-based shard ledger, \
+          checkpointed crash recovery, central corpus merge.")
+    [ run; resume; status ]
+
 let main =
   Cmd.group
     (Cmd.info "revizor" ~version:"1.0.0"
@@ -1336,7 +1599,7 @@ let main =
     [
       fuzz_cmd; check_cmd; gadget_cmd; reproduce_cmd; isa_cmd;
       telemetry_check_cmd; monitor_cmd; trace_cmd; forensics_cmd;
-      coverage_cmd;
+      coverage_cmd; fleet_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

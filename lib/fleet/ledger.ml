@@ -1,0 +1,386 @@
+(* The lease-based shard ledger: the fleet's single source of truth.
+
+   A campaign spec is sharded into one descriptor per seed; every shard
+   moves through the state machine
+
+     Pending -> Leased {pid; expires; attempt} -> Done
+        ^            |                             (terminal)
+        |            v (crash / hang / lost spawn)
+        +--- backoff gate (not_before) --- attempts >= max --> Quarantined
+
+   and every transition is persisted by an atomic tmp+rename write of
+   the whole ledger ([revizor.ledger.v1]). The ledger plus the per-shard
+   checkpoint files are the orchestrator's complete durable state: a
+   SIGKILLed orchestrator resumes from them alone, and because shard
+   computation is checkpoint-resumable bit-for-bit, the resumed fleet's
+   merged results are identical to an uninterrupted run's.
+
+   Wall-clock fields (lease expiry, backoff gates) are absolute times:
+   after a resume they are either honored (future) or trivially
+   satisfied (past), never re-derived from a lost process clock. *)
+
+module Json = Revizor_obs.Json
+module Backoff = Revizor_obs.Backoff
+module Faultpoint = Revizor_obs.Faultpoint
+
+let schema = "revizor.ledger.v1"
+let version = 1
+
+type spec = {
+  sp_target : string;  (* Target.find key, e.g. "Target 5" *)
+  sp_contract : string;  (* Contract.of_name key, e.g. "CT-SEQ" *)
+  sp_seeds : int64 list;  (* one shard per campaign seed *)
+  sp_budget : int;  (* test cases per shard *)
+  sp_n_inputs : int;
+  sp_checkpoint_every : int;
+  sp_workers : int;
+  sp_lease_s : float;
+  sp_max_attempts : int;
+  sp_fleet_seed : int64;  (* jitter key for the re-adoption backoff *)
+  sp_backoff : Backoff.policy;
+}
+
+let default_spec ~target ~contract ~seeds =
+  {
+    sp_target = target;
+    sp_contract = contract;
+    sp_seeds = seeds;
+    sp_budget = 500;
+    sp_n_inputs = 50;
+    sp_checkpoint_every = 10;
+    sp_workers = 2;
+    sp_lease_s = 5.;
+    sp_max_attempts = 5;
+    sp_fleet_seed = 42L;
+    sp_backoff = { Backoff.base_ms = 50.; cap_ms = 2000. };
+  }
+
+(* Only the result-shaping fields fingerprint: orchestration knobs
+   (worker count, lease length, backoff, checkpoint cadence) may differ
+   between a run and its resume without changing any merged byte, the
+   same contract [Campaign]'s fingerprint gives checkpoints. *)
+let canonical spec =
+  Printf.sprintf "target=%s;contract=%s;seeds=%s;budget=%d;n_inputs=%d"
+    (String.lowercase_ascii spec.sp_target)
+    spec.sp_contract
+    (String.concat "," (List.map (Printf.sprintf "0x%Lx") spec.sp_seeds))
+    spec.sp_budget spec.sp_n_inputs
+
+let fnv1a64 (s : string) =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let fingerprint spec = Printf.sprintf "%016Lx" (fnv1a64 (canonical spec))
+
+type state =
+  | Pending
+  | Leased of { pid : int; expires : float; attempt : int }
+  | Done
+  | Quarantined
+
+type shard = {
+  sh_id : int;
+  sh_seed : int64;
+  mutable sh_state : state;
+  mutable sh_attempts : int;  (* failed adoption attempts so far *)
+  mutable sh_not_before : float;  (* absolute backoff gate for re-adoption *)
+}
+
+type t = { dir : string; spec : spec; shards : shard array }
+
+(* --- canonical fleet paths ------------------------------------------- *)
+
+let ledger_path dir = Filename.concat dir "ledger.json"
+let merged_path dir = Filename.concat dir "merged.json"
+let fleet_sock dir = Filename.concat dir "fleet.sock"
+
+let shard_checkpoint dir id =
+  Filename.concat dir (Printf.sprintf "shard-%03d.ckpt.json" id)
+
+let shard_result dir id =
+  Filename.concat dir (Printf.sprintf "shard-%03d.result.json" id)
+
+let shard_sock dir id = Filename.concat dir (Printf.sprintf "shard-%03d.sock" id)
+
+(* --- construction ----------------------------------------------------- *)
+
+let create ~dir spec =
+  {
+    dir;
+    spec;
+    shards =
+      Array.of_list
+        (List.mapi
+           (fun i seed ->
+             {
+               sh_id = i;
+               sh_seed = seed;
+               sh_state = Pending;
+               sh_attempts = 0;
+               sh_not_before = 0.;
+             })
+           spec.sp_seeds);
+  }
+
+(* --- state machine ---------------------------------------------------- *)
+
+(* Deterministic re-adoption gate: capped exponential backoff whose
+   jitter is a pure function of (fleet seed, shard id, attempt). *)
+let backoff_delay_s spec ~shard_id ~attempt =
+  Backoff.delay_ms spec.sp_backoff
+    ~key:(Int64.add spec.sp_fleet_seed (Int64.mul (Int64.of_int (shard_id + 1)) 6271L))
+    ~attempt
+  /. 1000.
+
+let lease sh ~pid ~now ~lease_s =
+  sh.sh_state <- Leased { pid; expires = now +. lease_s; attempt = sh.sh_attempts }
+
+let renew sh ~now ~lease_s =
+  match sh.sh_state with
+  | Leased l -> sh.sh_state <- Leased { l with expires = now +. lease_s }
+  | _ -> ()
+
+let mark_done sh = sh.sh_state <- Done
+
+(* One failed adoption: back off, escalate to quarantine past the cap. *)
+let mark_failed t sh ~now =
+  sh.sh_attempts <- sh.sh_attempts + 1;
+  if sh.sh_attempts >= t.spec.sp_max_attempts then sh.sh_state <- Quarantined
+  else begin
+    sh.sh_state <- Pending;
+    sh.sh_not_before <-
+      now +. backoff_delay_s t.spec ~shard_id:sh.sh_id ~attempt:sh.sh_attempts
+  end
+
+(* Lease revocation that is *not* the shard's fault (orchestrator died):
+   back to Pending with no attempt escalation. *)
+let mark_revoked sh = sh.sh_state <- Pending
+
+let counts t =
+  Array.fold_left
+    (fun (p, l, d, q) sh ->
+      match sh.sh_state with
+      | Pending -> (p + 1, l, d, q)
+      | Leased _ -> (p, l + 1, d, q)
+      | Done -> (p, l, d + 1, q)
+      | Quarantined -> (p, l, d, q + 1))
+    (0, 0, 0, 0) t.shards
+
+let finished t =
+  Array.for_all
+    (fun sh -> match sh.sh_state with Done | Quarantined -> true | _ -> false)
+    t.shards
+
+(* --- JSON codec ------------------------------------------------------- *)
+
+let hex64 v = Json.String (Printf.sprintf "0x%Lx" v)
+
+let spec_to_json s =
+  Json.Obj
+    [
+      ("target", Json.String s.sp_target);
+      ("contract", Json.String s.sp_contract);
+      ("seeds", Json.List (List.map hex64 s.sp_seeds));
+      ("budget", Json.Int s.sp_budget);
+      ("n_inputs", Json.Int s.sp_n_inputs);
+      ("checkpoint_every", Json.Int s.sp_checkpoint_every);
+      ("workers", Json.Int s.sp_workers);
+      ("lease_s", Json.Float s.sp_lease_s);
+      ("max_attempts", Json.Int s.sp_max_attempts);
+      ("fleet_seed", hex64 s.sp_fleet_seed);
+      ("backoff_base_ms", Json.Float s.sp_backoff.Backoff.base_ms);
+      ("backoff_cap_ms", Json.Float s.sp_backoff.Backoff.cap_ms);
+    ]
+
+let state_to_json = function
+  | Pending -> Json.Obj [ ("state", Json.String "pending") ]
+  | Leased { pid; expires; attempt } ->
+      Json.Obj
+        [
+          ("state", Json.String "leased");
+          ("pid", Json.Int pid);
+          ("expires", Json.Float expires);
+          ("attempt", Json.Int attempt);
+        ]
+  | Done -> Json.Obj [ ("state", Json.String "done") ]
+  | Quarantined -> Json.Obj [ ("state", Json.String "quarantined") ]
+
+let shard_to_json sh =
+  let st_fields =
+    match state_to_json sh.sh_state with Json.Obj fields -> fields | _ -> []
+  in
+  Json.Obj
+    ([
+       ("id", Json.Int sh.sh_id);
+       ("seed", hex64 sh.sh_seed);
+       ("attempts", Json.Int sh.sh_attempts);
+       ("not_before", Json.Float sh.sh_not_before);
+     ]
+    @ st_fields)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("version", Json.Int version);
+      ("fingerprint", Json.String (fingerprint t.spec));
+      ("spec", spec_to_json t.spec);
+      ("shards", Json.List (Array.to_list (Array.map shard_to_json t.shards)));
+    ]
+
+let ( let* ) = Result.bind
+
+let req_int j k =
+  match Option.bind (Json.member k j) Json.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "ledger: missing %s" k)
+
+let req_float j k =
+  match Option.bind (Json.member k j) Json.to_float with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "ledger: missing %s" k)
+
+let req_str j k =
+  match Option.bind (Json.member k j) Json.to_str with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "ledger: missing %s" k)
+
+let req_hex64 j k =
+  let* s = req_str j k in
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "ledger: bad int64 %s" k)
+
+let spec_of_json j =
+  let* sp_target = req_str j "target" in
+  let* sp_contract = req_str j "contract" in
+  let* sp_seeds =
+    match Json.member "seeds" j with
+    | Some (Json.List ss) ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            match Option.bind (Json.to_str s) Int64.of_string_opt with
+            | Some v -> Ok (v :: acc)
+            | None -> Error "ledger: bad seed")
+          (Ok []) ss
+        |> Result.map List.rev
+    | _ -> Error "ledger: missing seeds"
+  in
+  let* sp_budget = req_int j "budget" in
+  let* sp_n_inputs = req_int j "n_inputs" in
+  let* sp_checkpoint_every = req_int j "checkpoint_every" in
+  let* sp_workers = req_int j "workers" in
+  let* sp_lease_s = req_float j "lease_s" in
+  let* sp_max_attempts = req_int j "max_attempts" in
+  let* sp_fleet_seed = req_hex64 j "fleet_seed" in
+  let* base_ms = req_float j "backoff_base_ms" in
+  let* cap_ms = req_float j "backoff_cap_ms" in
+  Ok
+    {
+      sp_target;
+      sp_contract;
+      sp_seeds;
+      sp_budget;
+      sp_n_inputs;
+      sp_checkpoint_every;
+      sp_workers;
+      sp_lease_s;
+      sp_max_attempts;
+      sp_fleet_seed;
+      sp_backoff = { Backoff.base_ms; cap_ms };
+    }
+
+let shard_of_json j =
+  let* sh_id = req_int j "id" in
+  let* sh_seed = req_hex64 j "seed" in
+  let* sh_attempts = req_int j "attempts" in
+  let* sh_not_before = req_float j "not_before" in
+  let* sh_state =
+    let* st = req_str j "state" in
+    match st with
+    | "pending" -> Ok Pending
+    | "done" -> Ok Done
+    | "quarantined" -> Ok Quarantined
+    | "leased" ->
+        let* pid = req_int j "pid" in
+        let* expires = req_float j "expires" in
+        let* attempt = req_int j "attempt" in
+        Ok (Leased { pid; expires; attempt })
+    | s -> Error (Printf.sprintf "ledger: unknown shard state %S" s)
+  in
+  Ok { sh_id; sh_seed; sh_state; sh_attempts; sh_not_before }
+
+let of_json ~dir j =
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_str with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "ledger: unknown schema %S" s)
+    | None -> Error "ledger: missing schema"
+  in
+  let* spec =
+    match Json.member "spec" j with
+    | Some s -> spec_of_json s
+    | None -> Error "ledger: missing spec"
+  in
+  let* () =
+    match Option.bind (Json.member "fingerprint" j) Json.to_str with
+    | Some fp when fp = fingerprint spec -> Ok ()
+    | Some _ -> Error "ledger: fingerprint does not match its own spec"
+    | None -> Error "ledger: missing fingerprint"
+  in
+  let* shards =
+    match Json.member "shards" j with
+    | Some (Json.List ss) ->
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* sh = shard_of_json s in
+            Ok (sh :: acc))
+          (Ok []) ss
+        |> Result.map (fun l -> Array.of_list (List.rev l))
+    | _ -> Error "ledger: missing shards"
+  in
+  Ok { dir; spec; shards }
+
+(* --- persistence ------------------------------------------------------ *)
+
+let fp_ledger_write = Faultpoint.point "fleet.ledger_write"
+
+(* Ledger writes retry under the fleet's own (coarse) backoff: the
+   [fleet.ledger_write] fault point models a transiently failing write
+   of the control-plane file. The write itself is atomic (tmp+rename),
+   so a crash at any instant leaves the previous consistent ledger. *)
+let save t =
+  let contents = Json.to_string_pretty (to_json t) ^ "\n" in
+  let key = Int64.add t.spec.sp_fleet_seed 0x1ed5e4L in
+  let rec go attempt =
+    match
+      Faultpoint.fire fp_ledger_write;
+      Revizor_obs.Atomic_file.write (ledger_path t.dir) contents
+    with
+    | () -> ()
+    | exception ((Faultpoint.Injected _ | Sys_error _) as e) ->
+        if attempt >= 5 then raise e
+        else begin
+          Backoff.sleep_ms (Backoff.delay_ms t.spec.sp_backoff ~key ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+let load ~dir =
+  let path = ledger_path dir in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (Printf.sprintf "ledger: %s" e)
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (Printf.sprintf "ledger: parse error: %s" e)
+      | Ok j -> of_json ~dir j)
+
+let exists ~dir = Sys.file_exists (ledger_path dir)

@@ -8,7 +8,10 @@
 
    Transient I/O failures (and the [writer.io] fault point, which models
    them deterministically in tests) are retried a bounded number of
-   times before the last exception is re-raised. *)
+   times — with capped exponential backoff and deterministic jitter
+   keyed on the target path ({!Backoff}, the same policy the fleet
+   orchestrator uses for shard re-adoption) — before the last exception
+   is re-raised. *)
 
 let m_writes = Metrics.counter "obs.atomic_writes"
 let m_retries = Metrics.counter "obs.atomic_write_retries"
@@ -30,8 +33,9 @@ let attempt path contents =
       raise e);
   Sys.rename tmp path
 
-let write ?(retries = 3) path contents =
+let write ?(retries = 3) ?(backoff = Backoff.default) path contents =
   Metrics.incr m_writes;
+  let key = Backoff.key_of_string path in
   let rec go n =
     match attempt path contents with
     | () -> ()
@@ -39,11 +43,13 @@ let write ?(retries = 3) path contents =
         if n >= retries then raise e
         else begin
           Metrics.incr m_retries;
+          let delay_ms = Backoff.delay_ms backoff ~key ~attempt:n in
           if Telemetry.enabled () then
             Telemetry.event "writer.retry"
               [
                 ("path", Json.String path);
                 ("attempt", Json.Int (n + 1));
+                ("delay_ms", Json.Float delay_ms);
                 ( "error",
                   Json.String
                     (match e with
@@ -51,6 +57,7 @@ let write ?(retries = 3) path contents =
                     | Faultpoint.Injected p -> "injected: " ^ p
                     | _ -> "?") );
               ];
+          Backoff.sleep_ms delay_ms;
           go (n + 1)
         end
   in

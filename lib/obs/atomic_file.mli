@@ -9,7 +9,9 @@
     surface as [obs.atomic_write_retries] plus a [writer.retry] telemetry
     event. *)
 
-val write : ?retries:int -> string -> string -> unit
+val write : ?retries:int -> ?backoff:Backoff.policy -> string -> string -> unit
 (** [write path contents] atomically replaces [path]. Retries up to
     [retries] (default 3) times on [Sys_error] or an injected writer
-    fault, then re-raises the last exception. *)
+    fault — sleeping a {!Backoff} delay (capped exponential,
+    deterministic jitter keyed on [path]; default {!Backoff.default})
+    between attempts — then re-raises the last exception. *)

@@ -4,6 +4,18 @@
 
 let m_connections = Metrics.counter "monitor.connections"
 let m_requests = Metrics.counter "monitor.requests"
+let m_client_lost = Metrics.counter "monitor.client_lost"
+
+(* A client that closes mid-reply turns the server's next write into a
+   delivered SIGPIPE, whose default disposition kills the whole campaign
+   process. Ignoring the signal turns that write into an EPIPE error,
+   which the per-client error handling below absorbs (the client is
+   dropped and counted, nothing else happens). Forced once, on the first
+   [create] — the fleet's heartbeat client shares the same guard. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
 
 type client = {
   fd : Unix.file_descr;
@@ -27,6 +39,7 @@ let max_clients = 16
 let max_request_len = 4096
 
 let create ~path =
+  Lazy.force ignore_sigpipe;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.set_nonblock sock;
@@ -190,6 +203,10 @@ let flush_out c =
         else Ok ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         Ok ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        (* Peer vanished with a reply in flight: swallow, count, drop. *)
+        Metrics.incr m_client_lost;
+        Error ()
     | exception Unix.Unix_error _ -> Error ()
 
 let step_client t c =
@@ -209,7 +226,9 @@ let step_client t c =
       Result.bind (serve_lines t c) (fun () -> flush_out c)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       Result.bind (serve_lines t c) (fun () -> flush_out c)
-  | exception Unix.Unix_error _ -> Error ()
+  | exception Unix.Unix_error _ ->
+      Metrics.incr m_client_lost;
+      Error ()
 
 let accept_pending t =
   let continue_ = ref true in
@@ -247,6 +266,24 @@ let poll t =
               close_client c;
               false)
         t.clients
+  end
+
+(* Post-campaign drain: serve clients that connected during the final
+   test case, without ever blocking shutdown. Polls until [timeout]
+   elapses, returning early once no client is connected and nothing is
+   buffered — the common no-client case costs one poll, a worker fleet
+   tearing down dozens of endpoints pays microseconds, and a stuck
+   client can hold the endpoint open for at most [timeout]. *)
+let drain ?(timeout = 0.2) t =
+  if not t.closed then begin
+    let deadline = Unix.gettimeofday () +. timeout in
+    let continue_ = ref true in
+    while !continue_ do
+      poll t;
+      if t.clients = [] || Unix.gettimeofday () >= deadline then
+        continue_ := false
+      else ignore (Unix.select [] [] [] 0.01)
+    done
   end
 
 let close t =

@@ -55,6 +55,13 @@ val poll : t -> unit
     Called by the fuzz loop at every test-case boundary; safe to call
     after the campaign ends (a final drain loop can keep serving). *)
 
+val drain : ?timeout:float -> t -> unit
+(** Post-campaign drain: keep polling so clients that connected during
+    the final test case still get their answers, but never block
+    shutdown — returns as soon as no client is connected (the common
+    case costs a single poll) and unconditionally after [timeout]
+    seconds (default 0.2). Call before {!close}. *)
+
 val close : t -> unit
 (** Close every client and the listening socket and unlink the socket
     path. Idempotent. *)
@@ -76,3 +83,9 @@ val m_connections : Metrics.counter
 
 val m_requests : Metrics.counter
 (** [monitor.requests] — request lines answered. *)
+
+val m_client_lost : Metrics.counter
+(** [monitor.client_lost] — clients that vanished with a reply in
+    flight ([EPIPE]/[ECONNRESET] on write, or a hard read error). The
+    first {!create} ignores [SIGPIPE] process-wide, so a client closing
+    mid-reply surfaces as this counter, never as a fatal signal. *)

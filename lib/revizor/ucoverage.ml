@@ -426,6 +426,31 @@ let summary_json t ~test_cases =
       ("saturated", Json.Bool t.saturation_emitted);
     ]
 
+(* --- merge ------------------------------------------------------------ *)
+
+(* Fleet-side atlas union. First hits take the minimum test-case index
+   per feature, which makes the operation commutative, associative and
+   idempotent — the orchestrator can fold shard atlases in completion
+   order (or re-commit one after a crash) and always land on the same
+   merged atlas as a sequential fold over the same shards. The
+   saturation-curve state (frontier, barren-round counters) is a
+   property of one campaign's timeline and has no cross-shard meaning,
+   so the merged atlas carries none: its frontier is empty and its
+   round counters are zeroed, with [last_round_distinct] pinned to the
+   merged feature count so the result is a pure function of the inputs'
+   first-hit maps. *)
+let merge a b =
+  let first_hit =
+    FMap.union (fun _ ta tb -> Some (min ta tb)) a.first_hit b.first_hit
+  in
+  {
+    first_hit;
+    frontier = [];
+    last_round_distinct = FMap.cardinal first_hit;
+    barren_rounds = 0;
+    saturation_emitted = false;
+  }
+
 (* --- diff ------------------------------------------------------------- *)
 
 (* Features one atlas covers that the other does not — the differential

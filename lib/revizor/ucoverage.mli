@@ -137,6 +137,15 @@ val diff : t -> t -> feature list * feature list
 (** [(only_in_a, only_in_b)]: the differential view across two campaigns
     (e.g. which mechanisms a patched target never exercises). *)
 
+val merge : t -> t -> t
+(** Atlas union for the fleet's central corpus merge: per-feature first
+    hits take the minimum test-case index, making the operation
+    commutative, associative and idempotent — folding shard atlases in
+    any completion order (or re-committing one after a crash) yields
+    the same merged atlas. The merged atlas carries no saturation-curve
+    state (frontier empty, round counters zeroed): that timeline
+    belongs to individual campaigns, not their union. *)
+
 (** {1 Serialization} *)
 
 val to_json : t -> Json.t
